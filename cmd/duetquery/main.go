@@ -1,0 +1,89 @@
+// Command duetquery loads a trained Duet model and estimates cardinalities
+// for conjunctive WHERE-style expressions.
+//
+// Usage:
+//
+//	duetquery -csv table.csv -model model.duet "price<=100 AND state='NY'"
+//
+// Each argument is one expression: predicates are column(=|<|>|<=|>=)value
+// joined by AND; string literals are single-quoted. With -exact the tool
+// also prints the true cardinality and the Q-Error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"duet"
+	"duet/internal/workload"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV file the model was trained on")
+	syn := flag.String("syn", "", "synthetic dataset: dmv | kdd | census")
+	rows := flag.Int("rows", 20000, "rows for synthetic datasets")
+	seed := flag.Int64("seed", 1, "generation seed")
+	modelPath := flag.String("model", "model.duet", "trained model file")
+	exact := flag.Bool("exact", false, "also compute the exact cardinality")
+	flag.Parse()
+
+	tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m, err := duet.LoadModel(f, tbl)
+	if err != nil {
+		fatal(err)
+	}
+
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no query given; pass expressions like \"price<=100 AND qty>3\""))
+	}
+	for _, expr := range flag.Args() {
+		q, err := workload.ParseQuery(tbl, expr)
+		if err != nil {
+			fatal(err)
+		}
+		est := m.EstimateCard(q)
+		fmt.Printf("%-50s estimate=%.1f", expr, est)
+		if *exact {
+			act := duet.Card(tbl, q)
+			fmt.Printf(" exact=%d q-error=%.3f", act, duet.QError(est, float64(act)))
+		}
+		fmt.Println()
+	}
+}
+
+func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return duet.LoadCSV(f, csvPath, true)
+	}
+	switch syn {
+	case "dmv":
+		return duet.SynDMV(rows, seed), nil
+	case "kdd":
+		return duet.SynKDD(rows, seed), nil
+	case "census":
+		return duet.SynCensus(rows, seed), nil
+	case "":
+		return nil, fmt.Errorf("one of -csv or -syn is required")
+	default:
+		return nil, fmt.Errorf("unknown synthetic dataset %q", syn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "duetquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command duettrain trains a Duet model on a CSV table (or a built-in
+// synthetic dataset) and saves it for use by duetquery.
+//
+// Usage:
+//
+//	duettrain -csv table.csv -model model.duet
+//	duettrain -syn census -rows 48842 -hybrid -epochs 20 -model census.duet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"duet"
+	"duet/internal/exec"
+	"duet/internal/workload"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "input CSV file with header row")
+	syn := flag.String("syn", "", "built-in synthetic dataset: dmv | kdd | census")
+	rows := flag.Int("rows", 20000, "rows for synthetic datasets")
+	seed := flag.Int64("seed", 1, "generation seed")
+	modelPath := flag.String("model", "model.duet", "output model file")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	batch := flag.Int("batch", 256, "batch size")
+	lambda := flag.Float64("lambda", 0.1, "hybrid loss weight (0 = data-only DuetD)")
+	hybrid := flag.Bool("hybrid", false, "generate a training workload and train hybridly")
+	trainQ := flag.Int("trainq", 2000, "training workload size for -hybrid")
+	large := flag.Bool("large", false, "use the large MADE architecture (DMV-style)")
+	flag.Parse()
+
+	tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("table:", tbl.Stats())
+
+	cfg := duet.DefaultConfig()
+	if *large {
+		cfg = duet.DMVConfig()
+	}
+	m := duet.New(tbl, cfg)
+	tc := duet.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.BatchSize = *batch
+	tc.Lambda = *lambda
+	if *hybrid && *lambda > 0 {
+		fmt.Printf("labelling %d training queries...\n", *trainQ)
+		gen := workload.InQConfig(tbl.NumCols(), *trainQ, workload.LargestColumn(tbl))
+		tc.Workload = exec.Label(tbl, workload.Generate(tbl, gen))
+	}
+	tc.OnEpoch = func(epoch int, s duet.EpochStats) bool {
+		fmt.Printf("epoch %3d: L_data=%.4f L_query=%.4f (%.0f tuples/s)\n",
+			epoch, s.DataLoss, s.QueryLoss, s.TuplesPerSec)
+		return true
+	}
+	duet.Train(m, tc)
+
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved %s (%.2f MB)\n", *modelPath, float64(m.SizeBytes())/1e6)
+}
+
+func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return duet.LoadCSV(f, csvPath, true)
+	}
+	switch syn {
+	case "dmv":
+		return duet.SynDMV(rows, seed), nil
+	case "kdd":
+		return duet.SynKDD(rows, seed), nil
+	case "census":
+		return duet.SynCensus(rows, seed), nil
+	case "":
+		return nil, fmt.Errorf("one of -csv or -syn is required")
+	default:
+		return nil, fmt.Errorf("unknown synthetic dataset %q", syn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "duettrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Package duet is the public API of this repository: a from-scratch Go
+// reproduction of "Duet: Efficient and Scalable Hybrid Neural Relation
+// Understanding" (ICDE 2024), a hybrid neural cardinality estimator that
+// answers conjunctive range queries with a single deterministic network
+// forward pass — no progressive sampling — and trains on both the data
+// (cross-entropy over a virtual table of predicates) and historical query
+// workloads (a smoothed, fully differentiable Q-Error loss).
+//
+// The facade re-exports the pieces a downstream user needs: dictionary-
+// encoded tables (CSV or synthetic), query/workload construction, the exact
+// executor for labelling, the Duet model, and the baselines the paper
+// compares against. Everything is implemented on the standard library.
+//
+// Quick start:
+//
+//	tbl, _ := duet.LoadCSV(f, "orders", true)
+//	model := duet.New(tbl, duet.DefaultConfig())
+//	duet.Train(model, duet.DefaultTrainConfig())
+//	card := model.EstimateCard(duet.Q(duet.Pred(tbl, "price", duet.OpLe, 100)))
+//
+// See examples/ for runnable programs and internal/bench for the harness
+// that regenerates every table and figure of the paper.
+package duet
+
+import (
+	"fmt"
+	"io"
+
+	"duet/internal/core"
+	"duet/internal/exec"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// Re-exported relation types.
+type (
+	// Table is a dictionary-encoded columnar relation.
+	Table = relation.Table
+	// Column is one dictionary-encoded column.
+	Column = relation.Column
+)
+
+// Re-exported query types.
+type (
+	// Query is a conjunction of predicates.
+	Query = workload.Query
+	// Predicate constrains one column at dictionary-code level.
+	Predicate = workload.Predicate
+	// LabeledQuery pairs a query with its true cardinality.
+	LabeledQuery = workload.LabeledQuery
+	// Op is a comparison operator.
+	Op = workload.Op
+)
+
+// Comparison operators.
+const (
+	OpEq = workload.OpEq
+	OpGt = workload.OpGt
+	OpLt = workload.OpLt
+	OpGe = workload.OpGe
+	OpLe = workload.OpLe
+)
+
+// Re-exported Duet model types.
+type (
+	// Model is a Duet estimator.
+	Model = core.Model
+	// Config describes the model architecture.
+	Config = core.Config
+	// TrainConfig controls (hybrid) training.
+	TrainConfig = core.TrainConfig
+	// EpochStats summarizes a training epoch.
+	EpochStats = core.EpochStats
+)
+
+// New builds an untrained Duet model for a table.
+func New(t *Table, cfg Config) *Model { return core.NewModel(t, cfg) }
+
+// DefaultConfig returns the ResMADE-128 configuration the paper uses for
+// medium tables.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DMVConfig returns the larger MADE configuration for high-cardinality
+// tables.
+func DMVConfig() Config { return core.DMVConfig() }
+
+// DefaultTrainConfig returns the paper's training defaults (µ=4, λ=0.1).
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// Train fits a model; pass a labeled workload in cfg.Workload for hybrid
+// training, or leave it empty for the data-only DuetD variant.
+func Train(m *Model, cfg TrainConfig) []EpochStats { return core.Train(m, cfg) }
+
+// LoadModel restores a model saved with Model.Save, validated against t.
+func LoadModel(r io.Reader, t *Table) (*Model, error) { return core.Load(r, t) }
+
+// LoadCSV reads a CSV stream into a dictionary-encoded table with inferred
+// column kinds.
+func LoadCSV(r io.Reader, name string, header bool) (*Table, error) {
+	return relation.LoadCSV(r, name, header)
+}
+
+// SynDMV, SynKDD and SynCensus generate the synthetic stand-ins for the
+// paper's three evaluation datasets.
+func SynDMV(rows int, seed int64) *Table { return relation.SynDMV(rows, seed) }
+
+// SynKDD generates the 100-column high-dimensional dataset shape.
+func SynKDD(rows int, seed int64) *Table { return relation.SynKDD(rows, seed) }
+
+// SynCensus generates the small-table dataset shape.
+func SynCensus(rows int, seed int64) *Table { return relation.SynCensus(rows, seed) }
+
+// Pred builds a predicate on a named column from a raw int64 value. For
+// ordering operators the value is mapped to the dictionary with lower-bound
+// semantics; for equality it must be present exactly (otherwise the
+// predicate selects nothing, which Card reports as 0).
+func Pred(t *Table, column string, op Op, value int64) Predicate {
+	ci := t.ColumnIndex(column)
+	if ci < 0 {
+		panic(fmt.Sprintf("duet: unknown column %q", column))
+	}
+	code, exact := t.Cols[ci].CodeOfInt(value)
+	if op == OpEq && !exact {
+		// Encode an always-false equality: code outside any value maps to an
+		// empty interval via Lo > Hi when clamped by ColumnIntervals.
+		return Predicate{Col: ci, Op: OpGt, Code: int32(t.Cols[ci].NumDistinct()) - 1}
+	}
+	switch op {
+	case OpLt, OpGe:
+		// v maps to the first code >= v: (col < v) == (code < lb), and
+		// (col >= v) == (code >= lb).
+		return Predicate{Col: ci, Op: op, Code: code}
+	case OpLe, OpGt:
+		if !exact {
+			// (col <= v) == (code < lb) and (col > v) == (code >= lb).
+			if op == OpLe {
+				return Predicate{Col: ci, Op: OpLt, Code: code}
+			}
+			return Predicate{Col: ci, Op: OpGe, Code: code}
+		}
+		return Predicate{Col: ci, Op: op, Code: code}
+	default:
+		return Predicate{Col: ci, Op: op, Code: code}
+	}
+}
+
+// Q builds a conjunctive query from predicates.
+func Q(preds ...Predicate) Query { return Query{Preds: preds} }
+
+// Card computes the exact cardinality of q on t (the ground-truth oracle).
+func Card(t *Table, q Query) int64 { return exec.Cardinality(t, q) }
+
+// Label pairs queries with exact cardinalities, in parallel.
+func Label(t *Table, qs []Query) []LabeledQuery { return exec.Label(t, qs) }
+
+// GenerateWorkload produces queries following the paper's protocol.
+func GenerateWorkload(t *Table, cfg WorkloadConfig) []Query { return workload.Generate(t, cfg) }
+
+// WorkloadConfig re-exports the generator configuration.
+type WorkloadConfig = workload.GenConfig
+
+// RandQConfig returns the paper's random-query workload settings.
+func RandQConfig(ncols, numQueries int) WorkloadConfig {
+	return workload.RandQConfig(ncols, numQueries)
+}
+
+// InQConfig returns the paper's in-workload settings.
+func InQConfig(ncols, numQueries, boundedCol int) WorkloadConfig {
+	return workload.InQConfig(ncols, numQueries, boundedCol)
+}
+
+// QError is the standard accuracy metric: max(est,act)/min(est,act), both
+// clamped to >= 1.
+func QError(est, act float64) float64 { return workload.QError(est, act) }

@@ -1,0 +1,105 @@
+package duet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"duet"
+)
+
+func facadeTable() *duet.Table {
+	return duet.SynCensus(800, 3)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tbl := facadeTable()
+	m := duet.New(tbl, smallCfg())
+	cfg := duet.DefaultTrainConfig()
+	cfg.Epochs = 3
+	cfg.BatchSize = 128
+	cfg.Lambda = 0
+	duet.Train(m, cfg)
+
+	qs := duet.GenerateWorkload(tbl, duet.RandQConfig(tbl.NumCols(), 30))
+	labeled := duet.Label(tbl, qs)
+	for _, lq := range labeled {
+		est := m.EstimateCard(lq.Query)
+		if q := duet.QError(est, float64(lq.Card)); q < 1 {
+			t.Fatalf("impossible q-error %v", q)
+		}
+	}
+}
+
+func smallCfg() duet.Config {
+	c := duet.DefaultConfig()
+	c.Hidden = []int{32, 32}
+	return c
+}
+
+func TestPredRawValueMapping(t *testing.T) {
+	// Build a table with known values and exercise raw-value predicates.
+	csv := "price,qty\n10,1\n20,2\n30,3\n20,2\n40,1\n"
+	tbl, err := duet.LoadCSV(bytes.NewReader([]byte(csv)), "orders", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    duet.Predicate
+		want int64
+	}{
+		{duet.Pred(tbl, "price", duet.OpLe, 20), 3},  // 10,20,20
+		{duet.Pred(tbl, "price", duet.OpLe, 25), 3},  // non-exact upper
+		{duet.Pred(tbl, "price", duet.OpLt, 20), 1},  // 10
+		{duet.Pred(tbl, "price", duet.OpGe, 25), 2},  // 30,40
+		{duet.Pred(tbl, "price", duet.OpGt, 20), 2},  // 30,40
+		{duet.Pred(tbl, "price", duet.OpGt, 25), 2},  // non-exact lower
+		{duet.Pred(tbl, "price", duet.OpEq, 20), 2},  // exact
+		{duet.Pred(tbl, "price", duet.OpEq, 25), 0},  // absent value
+		{duet.Pred(tbl, "price", duet.OpGe, 100), 0}, // beyond domain
+	}
+	for _, tc := range cases {
+		got := duet.Card(tbl, duet.Q(tc.p))
+		if got != tc.want {
+			t.Fatalf("predicate %v: card %d want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPredUnknownColumnPanics(t *testing.T) {
+	tbl := facadeTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	duet.Pred(tbl, "no-such-column", duet.OpEq, 1)
+}
+
+func TestSaveLoadThroughFacade(t *testing.T) {
+	tbl := facadeTable()
+	m := duet.New(tbl, smallCfg())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := duet.LoadModel(&buf, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := duet.Q(duet.Predicate{Col: 0, Op: duet.OpLe, Code: 5})
+	if m.EstimateCard(q) != m2.EstimateCard(q) {
+		t.Fatal("loaded model disagrees")
+	}
+}
+
+func TestSyntheticFacades(t *testing.T) {
+	if duet.SynDMV(100, 1).NumCols() != 11 {
+		t.Fatal("SynDMV")
+	}
+	if duet.SynKDD(100, 1).NumCols() != 100 {
+		t.Fatal("SynKDD")
+	}
+	if c := duet.InQConfig(14, 10, 0); c.NumQueries != 10 || !c.GammaPreds {
+		t.Fatal("InQConfig")
+	}
+}

@@ -1,0 +1,68 @@
+// Estimator shoot-out: builds every estimator in the repository on one table
+// and prints a Table-II-style accuracy/cost comparison on random queries.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+
+	"duet"
+	"duet/internal/deepdb"
+	"duet/internal/estimator"
+	"duet/internal/exec"
+	"duet/internal/hist"
+	"duet/internal/mscn"
+	"duet/internal/naru"
+	"duet/internal/sample"
+	"duet/internal/workload"
+)
+
+func main() {
+	tbl := duet.SynCensus(15000, 1)
+	fmt.Println("table:", tbl.Stats())
+
+	bounded := workload.LargestColumn(tbl)
+	train := exec.Label(tbl, workload.Generate(tbl, workload.InQConfig(tbl.NumCols(), 1500, bounded)))
+	test := exec.Label(tbl, workload.Generate(tbl, workload.RandQConfig(tbl.NumCols(), 300)))
+
+	var ests []estimator.Estimator
+
+	ests = append(ests, sample.NewSampler(tbl, 0.01, 1))
+	ests = append(ests, sample.NewIndep(tbl))
+	ests = append(ests, hist.New(tbl, hist.DefaultConfig()))
+
+	fmt.Println("training mscn...")
+	ms := mscn.New(tbl, mscn.DefaultConfig())
+	mscn.Train(ms, train, mscn.DefaultTrainConfig())
+	ests = append(ests, ms)
+
+	fmt.Println("building deepdb rspn...")
+	ests = append(ests, deepdb.New(tbl, deepdb.DefaultConfig()))
+
+	fmt.Println("training naru...")
+	ncfg := naru.DefaultConfig()
+	ncfg.Samples = 500
+	nm := naru.New(tbl, ncfg)
+	ntc := naru.DefaultTrainConfig()
+	ntc.Epochs = 10
+	naru.Train(nm, ntc)
+	ests = append(ests, nm)
+
+	fmt.Println("training duet (hybrid)...")
+	dm := duet.New(tbl, duet.DefaultConfig())
+	dtc := duet.DefaultTrainConfig()
+	dtc.Epochs = 10
+	dtc.Workload = train
+	duet.Train(dm, dtc)
+	ests = append(ests, dm)
+
+	fmt.Printf("\n%-9s %9s %10s %8s %8s %8s %9s %9s\n",
+		"estimator", "size(MB)", "cost(ms)", "mean", "median", "75th", "99th", "max")
+	for _, est := range ests {
+		r := estimator.Evaluate(est, test)
+		fmt.Printf("%-9s %9.2f %10.3f %8.3f %8.3f %8.3f %9.2f %9.2f\n",
+			est.Name(), float64(est.SizeBytes())/1e6, r.MeanLatNS/1e6,
+			r.Stats.Mean, r.Stats.Median, r.Stats.P75, r.Stats.P99, r.Stats.Max)
+	}
+}

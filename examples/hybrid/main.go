@@ -1,0 +1,62 @@
+// Hybrid training: Duet's estimation path is differentiable, so historical
+// query workloads can supervise the model alongside the data. This example
+// trains a data-only DuetD and a hybrid Duet on the same table and compares
+// their accuracy on in-workload queries (the scenario of the paper's
+// Table II and Figure 9: temporal locality makes history informative).
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+
+	"duet"
+	"duet/internal/workload"
+)
+
+func main() {
+	tbl := duet.SynDMV(30000, 1)
+	fmt.Println("table:", tbl.Stats())
+
+	// Historical workload: gamma-distributed predicate counts and a bounded
+	// large column, per the paper's training-workload protocol.
+	bounded := workload.LargestColumn(tbl)
+	history := duet.Label(tbl, duet.GenerateWorkload(tbl, duet.InQConfig(tbl.NumCols(), 2000, bounded)))
+	// Fresh in-workload queries (same distribution, unseen instances).
+	test := duet.Label(tbl, duet.GenerateWorkload(tbl, duet.InQConfig(tbl.NumCols(), 400, bounded))[200:])
+
+	train := func(lambda float64) *duet.Model {
+		m := duet.New(tbl, duet.DMVConfig())
+		tc := duet.DefaultTrainConfig()
+		tc.Epochs = 8
+		tc.Lambda = lambda
+		if lambda > 0 {
+			tc.Workload = history
+		}
+		duet.Train(m, tc)
+		return m
+	}
+	report := func(name string, m *duet.Model) {
+		var mean, max float64
+		for _, lq := range test {
+			q := duet.QError(m.EstimateCard(lq.Query), float64(lq.Card))
+			mean += q
+			if q > max {
+				max = q
+			}
+		}
+		mean /= float64(len(test))
+		fmt.Printf("%-8s mean q-error %.3f, max %.2f\n", name, mean, max)
+	}
+
+	fmt.Println("\ntraining DuetD (data only, lambda=0)...")
+	duetD := train(0)
+	fmt.Println("training Duet (hybrid, lambda=0.1)...")
+	hybrid := train(0.1)
+
+	fmt.Println("\nin-workload accuracy:")
+	report("duet-d", duetD)
+	report("duet", hybrid)
+	fmt.Println("\nHybrid training uses history as a supervised signal; because the")
+	fmt.Println("data loss dominates (lambda=0.1), random-query accuracy is preserved.")
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/workload"
+)
+
+// BenchmarkEstimateCard measures Duet's single-query estimation latency —
+// the paper's headline O(1) operation (one forward pass + masked product).
+func BenchmarkEstimateCard(b *testing.B) {
+	tbl := tinyTable(1000)
+	m := NewModel(tbl, tinyConfig())
+	q := workload.Query{Preds: []workload.Predicate{
+		{Col: 0, Op: workload.OpGe, Code: 2},
+		{Col: 2, Op: workload.OpLe, Code: 9},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateCard(q)
+	}
+}
+
+// BenchmarkEstimateBatch64 measures the amortized batched path.
+func BenchmarkEstimateBatch64(b *testing.B) {
+	tbl := tinyTable(1000)
+	m := NewModel(tbl, tinyConfig())
+	qs := workload.Generate(tbl, workload.GenConfig{
+		Seed: 1, NumQueries: 64, MinPreds: 1, MaxPreds: 3, BoundedCol: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateBatch(qs)
+	}
+}
+
+// BenchmarkVirtualTupleSampling measures Algorithm 1's vectorized sampler.
+func BenchmarkVirtualTupleSampling(b *testing.B) {
+	tbl := tinyTable(2000)
+	rows := make([]int, 256)
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := SamplerConfig{Mu: 4, WildcardProb: 0.25, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleVirtualTuples(tbl, rows, cfg, i)
+	}
+}
+
+// BenchmarkTrainStep measures one full hybrid SGD step (data + query pass).
+func BenchmarkTrainStep(b *testing.B) {
+	tbl := tinyTable(512)
+	m := NewModel(tbl, tinyConfig())
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.BatchSize = 512 // one step per epoch
+	cfg.Lambda = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(m, cfg)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"duet/internal/nn"
+	"duet/internal/workload"
+)
+
+// EstimateBatch estimates many queries with one batched forward pass per
+// chunk, amortizing the network call across queries (useful for plan
+// enumeration, where the optimizer asks for many candidate cardinalities at
+// once). Results are identical to calling EstimateCard per query.
+func (m *Model) EstimateBatch(qs []workload.Query) []float64 {
+	const chunk = 256
+	out := make([]float64, len(qs))
+	for off := 0; off < len(qs); off += chunk {
+		end := off + chunk
+		if end > len(qs) {
+			end = len(qs)
+		}
+		batch := qs[off:end]
+		specs := make([]Spec, len(batch))
+		for i, q := range batch {
+			specs[i] = m.SpecFromQuery(q)
+		}
+		logits := m.Forward(specs)
+		total := float64(m.table.NumRows())
+		for i, q := range batch {
+			out[off+i] = m.maskedProduct(logits.Row(i), q) * total
+		}
+	}
+	return out
+}
+
+// FineTuneConfig controls post-deployment fine-tuning on collected queries.
+type FineTuneConfig struct {
+	Steps      int     // gradient steps
+	QueryBatch int     // queries per step
+	LR         float64 // typically lower than the training LR
+	Lambda     float64 // query-loss weight; data loss is not used here
+	ClipNorm   float64
+	Seed       int64
+}
+
+// DefaultFineTuneConfig returns conservative fine-tuning defaults.
+func DefaultFineTuneConfig() FineTuneConfig {
+	return FineTuneConfig{Steps: 200, QueryBatch: 32, LR: 2e-4, Lambda: 1, ClipNorm: 8, Seed: 42}
+}
+
+// FineTune performs the paper's targeted long-tail mitigation: queries with
+// large observed errors are collected at run time and the model is tuned on
+// their smoothed Q-Error alone. Because Duet's estimation path is
+// differentiable this needs no sampling and no access to the original
+// training pipeline. It returns the mean smoothed query loss per step.
+func FineTune(m *Model, bad []workload.LabeledQuery, cfg FineTuneConfig) []float64 {
+	if len(bad) == 0 || cfg.Steps <= 0 {
+		return nil
+	}
+	if cfg.QueryBatch <= 0 {
+		cfg.QueryBatch = 32
+	}
+	opt := nn.NewAdam(cfg.LR)
+	rng := newDetRand(cfg.Seed)
+	losses := make([]float64, 0, cfg.Steps)
+	for step := 0; step < cfg.Steps; step++ {
+		batch := make([]workload.LabeledQuery, cfg.QueryBatch)
+		for i := range batch {
+			batch[i] = bad[rng.Intn(len(bad))]
+		}
+		nn.ZeroGrads(m.params)
+		loss, _ := m.queryLossBackward(batch, cfg.Lambda)
+		if cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(m.params, cfg.ClipNorm)
+		}
+		opt.Step(m.params)
+		losses = append(losses, loss)
+	}
+	return losses
+}
+
+// CollectBadQueries evaluates the model on a labeled workload and returns
+// the queries whose Q-Error exceeds the threshold — the run-time collection
+// loop the paper describes for long-tail mitigation.
+func CollectBadQueries(m *Model, ws []workload.LabeledQuery, threshold float64) []workload.LabeledQuery {
+	var bad []workload.LabeledQuery
+	for _, lq := range ws {
+		if nn.QError(m.EstimateCard(lq.Query), float64(lq.Card)) > threshold {
+			bad = append(bad, lq)
+		}
+	}
+	return bad
+}
+
+// newDetRand isolates the rand import to keep call sites tidy.
+func newDetRand(seed int64) *detRand { return &detRand{state: uint64(seed)*6364136223846793005 + 1} }
+
+// detRand is a tiny deterministic PCG-style generator (avoids pulling a
+// *rand.Rand through the API for one Intn call).
+type detRand struct{ state uint64 }
+
+// Intn returns a uniform int in [0, n).
+func (r *detRand) Intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	x := (r.state >> 33) ^ r.state
+	return int(x % uint64(n))
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/exec"
+	"duet/internal/workload"
+)
+
+func TestEstimateBatchMatchesSingle(t *testing.T) {
+	tbl := tinyTable(200)
+	m := NewModel(tbl, tinyConfig())
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 3, NumQueries: 40, MinPreds: 1, MaxPreds: 3, BoundedCol: -1})
+	batch := m.EstimateBatch(qs)
+	for i, q := range qs {
+		if single := m.EstimateCard(q); single != batch[i] {
+			t.Fatalf("query %d: batch %v vs single %v", i, batch[i], single)
+		}
+	}
+}
+
+func TestEstimateBatchEmpty(t *testing.T) {
+	tbl := tinyTable(50)
+	m := NewModel(tbl, tinyConfig())
+	if out := m.EstimateBatch(nil); len(out) != 0 {
+		t.Fatal("empty batch")
+	}
+}
+
+func TestFineTuneReducesLossOnBadQueries(t *testing.T) {
+	tbl := tinyTable(400)
+	m := NewModel(tbl, tinyConfig())
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.BatchSize = 128
+	cfg.Lambda = 0
+	Train(m, cfg)
+
+	test := exec.Label(tbl, workload.Generate(tbl, workload.GenConfig{
+		Seed: 5, NumQueries: 150, MinPreds: 1, MaxPreds: 3, BoundedCol: -1}))
+	bad := CollectBadQueries(m, test, 1.5)
+	if len(bad) == 0 {
+		t.Skip("model already accurate enough; nothing to fine-tune")
+	}
+	meanErr := func(ws []workload.LabeledQuery) float64 {
+		var sum float64
+		for _, lq := range ws {
+			sum += workload.QError(m.EstimateCard(lq.Query), float64(lq.Card))
+		}
+		return sum / float64(len(ws))
+	}
+	before := meanErr(bad)
+	ft := DefaultFineTuneConfig()
+	ft.Steps = 120
+	losses := FineTune(m, bad, ft)
+	after := meanErr(bad)
+	if after >= before {
+		t.Fatalf("fine-tuning did not improve the long tail: %.3f -> %.3f", before, after)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("fine-tune loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestFineTuneNoQueriesNoop(t *testing.T) {
+	tbl := tinyTable(50)
+	m := NewModel(tbl, tinyConfig())
+	if out := FineTune(m, nil, DefaultFineTuneConfig()); out != nil {
+		t.Fatal("fine-tune on empty set should be a no-op")
+	}
+}
+
+func TestCollectBadQueriesThreshold(t *testing.T) {
+	tbl := tinyTable(200)
+	m := NewModel(tbl, tinyConfig())
+	test := exec.Label(tbl, workload.Generate(tbl, workload.GenConfig{
+		Seed: 7, NumQueries: 50, MinPreds: 1, MaxPreds: 2, BoundedCol: -1}))
+	all := CollectBadQueries(m, test, 1.0)
+	some := CollectBadQueries(m, test, 5.0)
+	if len(some) > len(all) {
+		t.Fatal("higher threshold must not collect more queries")
+	}
+	huge := CollectBadQueries(m, test, 1e12)
+	if len(huge) != 0 {
+		t.Fatal("impossible threshold should collect nothing")
+	}
+}
+
+func TestDetRandBounds(t *testing.T) {
+	r := newDetRand(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	// Deterministic across instances with equal seeds.
+	a, b := newDetRand(5), newDetRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("detRand not deterministic")
+		}
+	}
+}

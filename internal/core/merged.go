@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"duet/internal/nn"
+	"duet/internal/tensor"
+)
+
+// mergedMPSN is the paper's "Parallel Acceleration for MLP MPSN": the MLP
+// MPSNs of all columns are fused into one network whose weight matrices are
+// block-diagonal, so embedding the predicates of every column takes one
+// fused forward pass per predicate round instead of one network call per
+// column. It is an inference-time structure built from the trained
+// per-column MPSNs by Model.Merge; results match the per-column path up to
+// floating-point summation order.
+type mergedMPSN struct {
+	inOff  []int // per-column offsets into the fused input
+	inTot  int
+	hidden int
+	outDim int
+	ncols  int
+
+	// Fused layers stored output-major (rows = output units) so the
+	// single-row inference path is one MulVec per layer.
+	w1, w2, w3 *tensor.Matrix
+	b1, b2, b3 []float32
+
+	in, h1, h2, out []float32
+}
+
+// Merge fuses the model's per-column MLP MPSNs into a block-diagonal network
+// used by EstimateDetail. Call it after training (weights are copied); it
+// returns an error for models not using the MLP MPSN.
+func (m *Model) Merge() error {
+	if m.cfg.MPSN != MPSNMLP {
+		return fmt.Errorf("core: Merge requires the MLP MPSN, model uses %v", m.cfg.MPSN)
+	}
+	n := m.table.NumCols()
+	H, O := m.cfg.MPSNHidden, m.cfg.MPSNOut
+	g := &mergedMPSN{hidden: H, outDim: O, ncols: n}
+	g.inOff = make([]int, n)
+	for i := range m.mpsns {
+		g.inOff[i] = g.inTot
+		g.inTot += predEncWidth(m.codecs[i])
+	}
+	g.w1 = tensor.New(n*H, g.inTot)
+	g.w2 = tensor.New(n*H, n*H)
+	g.w3 = tensor.New(n*O, n*H)
+	g.b1 = make([]float32, n*H)
+	g.b2 = make([]float32, n*H)
+	g.b3 = make([]float32, n*O)
+	for i := range m.mpsns {
+		mp, ok := m.mpsns[i].(*mlpMPSN)
+		if !ok {
+			return fmt.Errorf("core: column %d MPSN is %T, expected *mlpMPSN", i, m.mpsns[i])
+		}
+		l1 := mp.net.Layers[0].(*nn.Linear)
+		l2 := mp.net.Layers[2].(*nn.Linear)
+		l3 := mp.net.Layers[4].(*nn.Linear)
+		// nn.Linear stores W as in×out; the fused matrices are out-major.
+		placeTransposed(g.w1, l1.Weight.W, i*H, g.inOff[i])
+		placeTransposed(g.w2, l2.Weight.W, i*H, i*H)
+		placeTransposed(g.w3, l3.Weight.W, i*O, i*H)
+		copy(g.b1[i*H:(i+1)*H], l1.Bias.W.Data)
+		copy(g.b2[i*H:(i+1)*H], l2.Bias.W.Data)
+		copy(g.b3[i*O:(i+1)*O], l3.Bias.W.Data)
+	}
+	g.in = make([]float32, g.inTot)
+	g.h1 = make([]float32, n*H)
+	g.h2 = make([]float32, n*H)
+	g.out = make([]float32, n*O)
+	m.merged = g
+	return nil
+}
+
+// Unmerge removes the fused inference path; EstimateDetail falls back to the
+// per-column MPSNs.
+func (m *Model) Unmerge() { m.merged = nil }
+
+// placeTransposed writes srcᵀ (src is in×out) into dst at (rowOff, colOff).
+func placeTransposed(dst, src *tensor.Matrix, rowOff, colOff int) {
+	for r := 0; r < src.Rows; r++ {
+		for c := 0; c < src.Cols; c++ {
+			dst.Set(rowOff+c, colOff+r, src.At(r, c))
+		}
+	}
+}
+
+// encode builds the MADE input row for one spec through the fused network:
+// one fused forward pass per predicate round, with output blocks masked to
+// the columns that actually have a predicate in that round (columns without
+// one would otherwise contribute their bias response).
+func (g *mergedMPSN) encode(m *Model, spec Spec, xRow *tensor.Matrix) *tensor.Matrix {
+	xRow.Zero()
+	rounds := 0
+	for _, ps := range spec {
+		if len(ps) > rounds {
+			rounds = len(ps)
+		}
+	}
+	O, n := g.outDim, g.ncols
+	active := make([]bool, n)
+	for j := 0; j < rounds; j++ {
+		for i := range g.in {
+			g.in[i] = 0
+		}
+		for i, ps := range spec {
+			active[i] = len(ps) > j
+			if active[i] {
+				encW := predEncWidth(m.codecs[i])
+				encodeMPSNPred(g.in[g.inOff[i]:g.inOff[i]+encW], m.codecs[i], ps[j].Op, ps[j].Code)
+			}
+		}
+		tensor.MulVec(g.h1, g.w1, g.in)
+		addBiasRelu(g.h1, g.b1)
+		tensor.MulVec(g.h2, g.w2, g.h1)
+		addBiasRelu(g.h2, g.b2)
+		tensor.MulVec(g.out, g.w3, g.h2)
+		for i := range g.out {
+			g.out[i] += g.b3[i]
+		}
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			dst := m.net.In.Slice(xRow.Row(0), i)
+			for k := 0; k < O; k++ {
+				dst[k] += g.out[i*O+k]
+			}
+		}
+	}
+	return xRow
+}
+
+func addBiasRelu(v, b []float32) {
+	for i := range v {
+		v[i] += b[i]
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"duet/internal/made"
+	"duet/internal/nn"
+	"duet/internal/relation"
+	"duet/internal/tensor"
+	"duet/internal/workload"
+)
+
+// Config describes a Duet model.
+type Config struct {
+	// Hidden layer widths of the autoregressive network. The paper uses
+	// MADE 512,256,512,128,1024 for DMV and a 2-layer ResMADE of width 128
+	// for Kddcup98 and Census.
+	Hidden   []int
+	Residual bool
+
+	// Value encoding strategy and its parameters.
+	Encoding       ValueEncoding
+	EmbedDim       int // width of learned value embeddings
+	EmbedThreshold int // EncAuto switches to embeddings above this NDV
+
+	// MPSN configuration; MPSNNone uses the direct one-predicate-per-column
+	// encoding.
+	MPSN       MPSNKind
+	MPSNHidden int
+	MPSNOut    int
+
+	Seed int64
+}
+
+// DefaultConfig returns the ResMADE-128 configuration the paper uses for
+// medium tables.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:         []int{128, 128},
+		Residual:       true,
+		Encoding:       EncAuto,
+		EmbedDim:       32,
+		EmbedThreshold: 512,
+		MPSNHidden:     64,
+		MPSNOut:        16,
+		Seed:           42,
+	}
+}
+
+// DMVConfig returns the larger plain-MADE configuration the paper uses for
+// the high-cardinality DMV table.
+func DMVConfig() Config {
+	c := DefaultConfig()
+	c.Hidden = []int{512, 256, 512, 128, 1024}
+	c.Residual = false
+	return c
+}
+
+// ColPred is one predicate on one column, at dictionary-code level.
+type ColPred struct {
+	Op   workload.Op
+	Code int32
+}
+
+// Spec is the per-column predicate lists of one query or virtual tuple; an
+// empty list marks an unconstrained (wildcard) column.
+type Spec [][]ColPred
+
+// Model is a trained or trainable Duet estimator.
+type Model struct {
+	table  *relation.Table
+	cfg    Config
+	codecs []*valueCodec
+	encs   []*columnEncoder // direct mode (MPSNNone)
+	mpsns  []MPSN           // MPSN mode
+	net    *made.MADE
+	params []*nn.Param
+
+	merged *mergedMPSN // optional fused inference path, built by Merge
+
+	// Inference scratch (Estimate is not safe for concurrent use; clone the
+	// model or guard with a mutex for concurrent estimation).
+	xRow  *tensor.Matrix
+	probs []float32
+
+	lastSpecs []Spec // specs of the last forward batch, for backward routing
+}
+
+// NewModel builds an untrained Duet model for t.
+func NewModel(t *relation.Table, cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := t.NumCols()
+	m := &Model{table: t, cfg: cfg}
+	m.codecs = make([]*valueCodec, n)
+	inBlocks := make([]int, n)
+	outBlocks := make([]int, n)
+	for i, c := range t.Cols {
+		m.codecs[i] = newValueCodec(c.NumDistinct(), cfg.Encoding, cfg.EmbedDim, cfg.EmbedThreshold, rng)
+		outBlocks[i] = c.NumDistinct()
+	}
+	if cfg.MPSN == MPSNNone {
+		m.encs = make([]*columnEncoder, n)
+		for i := range m.encs {
+			m.encs[i] = newColumnEncoder(m.codecs[i])
+			inBlocks[i] = m.encs[i].width
+		}
+	} else {
+		m.mpsns = make([]MPSN, n)
+		for i := range m.mpsns {
+			m.mpsns[i] = NewMPSN(cfg.MPSN, predEncWidth(m.codecs[i]), cfg.MPSNHidden, cfg.MPSNOut, rng)
+			inBlocks[i] = cfg.MPSNOut
+		}
+	}
+	m.net = made.New(made.Config{
+		InBlocks: inBlocks, OutBlocks: outBlocks,
+		Hidden: cfg.Hidden, Residual: cfg.Residual, Seed: cfg.Seed + 1,
+	})
+	for _, vc := range m.codecs {
+		m.params = append(m.params, vc.params()...)
+	}
+	for _, mp := range m.mpsns {
+		m.params = append(m.params, mp.Params()...)
+	}
+	m.params = append(m.params, m.net.Params()...)
+	m.probs = make([]float32, maxInt(outBlocks))
+	m.xRow = tensor.New(1, m.net.In.Tot)
+	return m
+}
+
+func maxInt(xs []int) int {
+	mx := 0
+	for _, v := range xs {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Name identifies the estimator; hybrid-trained models report "duet" and
+// data-only models "duet-d" — callers may override via the wrappers in the
+// bench package.
+func (m *Model) Name() string { return "duet" }
+
+// Table returns the table this model was built for.
+func (m *Model) Table() *relation.Table { return m.table }
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// SizeBytes reports the parameter memory of the model.
+func (m *Model) SizeBytes() int64 { return nn.SizeBytes(m.params) }
+
+// encodeBatch builds the network input for a batch of specs. In MPSN mode
+// the per-column MPSNs run first and their outputs fill the column blocks.
+func (m *Model) encodeBatch(specs []Spec) *tensor.Matrix {
+	b := len(specs)
+	x := tensor.New(b, m.net.In.Tot)
+	m.lastSpecs = specs
+	if m.cfg.MPSN == MPSNNone {
+		for r, spec := range specs {
+			row := x.Row(r)
+			for i, enc := range m.encs {
+				dst := m.net.In.Slice(row, i)
+				if len(spec[i]) == 0 {
+					enc.encodeWildcard(dst)
+				} else {
+					p := spec[i][0]
+					enc.encodePred(dst, p.Op, p.Code)
+				}
+			}
+		}
+		return x
+	}
+	for i, mp := range m.mpsns {
+		sets := make([]PredSet, b)
+		encW := predEncWidth(m.codecs[i])
+		for r, spec := range specs {
+			for _, p := range spec[i] {
+				e := make([]float32, encW)
+				encodeMPSNPred(e, m.codecs[i], p.Op, p.Code)
+				sets[r] = append(sets[r], e)
+			}
+		}
+		out := mp.Forward(sets)
+		for r := 0; r < b; r++ {
+			copy(m.net.In.Slice(x.Row(r), i), out.Row(r))
+		}
+	}
+	return x
+}
+
+// Forward encodes specs and runs the autoregressive network, returning
+// per-column logits.
+func (m *Model) Forward(specs []Spec) *tensor.Matrix {
+	return m.net.Forward(m.encodeBatch(specs))
+}
+
+// Backward backpropagates the logit gradient through the network, the MPSNs
+// and into any learned value embeddings.
+func (m *Model) Backward(dLogits *tensor.Matrix) {
+	dX := m.net.Backward(dLogits)
+	specs := m.lastSpecs
+	if m.cfg.MPSN == MPSNNone {
+		for r, spec := range specs {
+			row := dX.Row(r)
+			for i, enc := range m.encs {
+				if len(spec[i]) == 0 {
+					continue
+				}
+				p := spec[i][0]
+				enc.backward(uint8(p.Op), p.Code, m.net.In.Slice(row, i))
+			}
+		}
+		return
+	}
+	for i, mp := range m.mpsns {
+		dBlock := tensor.New(len(specs), m.cfg.MPSNOut)
+		for r := range specs {
+			copy(dBlock.Row(r), m.net.In.Slice(dX.Row(r), i))
+		}
+		dEnc := mp.Backward(dBlock)
+		vc := m.codecs[i]
+		if vc.mode != EncEmbed {
+			continue
+		}
+		for r, spec := range specs {
+			for k, p := range spec[i] {
+				vc.backward(p.Code, dEnc[r][k][:vc.width])
+			}
+		}
+	}
+}
+
+// SpecFromQuery converts a query into the model's per-column predicate
+// lists. In direct (non-MPSN) mode, multiple predicates on one column are
+// collapsed to the canonical predicate of their intersection interval (the
+// probability mask still uses the exact interval, so only the conditioning
+// of later columns is approximated; MPSN mode conditions on all predicates).
+func (m *Model) SpecFromQuery(q workload.Query) Spec {
+	n := m.table.NumCols()
+	spec := make(Spec, n)
+	for _, p := range q.Preds {
+		spec[p.Col] = append(spec[p.Col], ColPred{Op: p.Op, Code: p.Code})
+	}
+	if m.cfg.MPSN == MPSNNone {
+		ivs := q.ColumnIntervals(m.table)
+		for i := range spec {
+			if len(spec[i]) <= 1 {
+				continue
+			}
+			iv := ivs[i]
+			ndv := int32(m.table.Cols[i].NumDistinct())
+			switch {
+			case iv.Empty():
+				spec[i] = spec[i][:1]
+			case iv.Lo == iv.Hi:
+				spec[i] = []ColPred{{Op: workload.OpEq, Code: iv.Lo}}
+			case iv.Lo == 0:
+				spec[i] = []ColPred{{Op: workload.OpLe, Code: iv.Hi}}
+			case iv.Hi == ndv-1:
+				spec[i] = []ColPred{{Op: workload.OpGe, Code: iv.Lo}}
+			default:
+				spec[i] = []ColPred{{Op: workload.OpGe, Code: iv.Lo}}
+			}
+		}
+	}
+	return spec
+}
+
+// EstimateCard estimates the query's cardinality with a single forward pass
+// (Algorithm 3): encode predicates, one network inference, zero-out each
+// column's probabilities outside its predicate interval, multiply the
+// surviving masses. No sampling, deterministic.
+func (m *Model) EstimateCard(q workload.Query) float64 {
+	card, _, _ := m.EstimateDetail(q)
+	return card
+}
+
+// EstimateDetail additionally reports the time spent encoding versus in
+// network inference + masking, the breakdown of Figure 6.
+func (m *Model) EstimateDetail(q workload.Query) (card float64, encodeNS, inferNS int64) {
+	t0 := time.Now()
+	spec := m.SpecFromQuery(q)
+	var logits *tensor.Matrix
+	if m.merged != nil && m.cfg.MPSN != MPSNNone {
+		x := m.merged.encode(m, spec, m.xRow)
+		encodeNS = time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		logits = m.net.Forward(x)
+		sel := m.maskedProduct(logits.Row(0), q)
+		inferNS = time.Since(t1).Nanoseconds()
+		return sel * float64(m.table.NumRows()), encodeNS, inferNS
+	}
+	x := m.encodeBatch([]Spec{spec})
+	encodeNS = time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	logits = m.net.Forward(x)
+	sel := m.maskedProduct(logits.Row(0), q)
+	inferNS = time.Since(t1).Nanoseconds()
+	return sel * float64(m.table.NumRows()), encodeNS, inferNS
+}
+
+// maskedProduct computes Π_i Σ_{v∈I_i} P(C_i = v | ·) over the constrained
+// columns, the core of Algorithm 3.
+func (m *Model) maskedProduct(logitRow []float32, q workload.Query) float64 {
+	ivs := q.ColumnIntervals(m.table)
+	mask := q.ConstrainedMask(m.table.NumCols())
+	sel := 1.0
+	for i := range m.table.Cols {
+		if !mask[i] {
+			continue // unconstrained columns integrate to 1
+		}
+		iv := ivs[i]
+		if iv.Empty() {
+			return 0
+		}
+		seg := m.net.Out.Slice(logitRow, i)
+		probs := m.probs[:len(seg)]
+		nn.Softmax(probs, seg)
+		var f float64
+		for v := iv.Lo; v <= iv.Hi; v++ {
+			f += float64(probs[v])
+		}
+		if f < 1e-12 {
+			f = 1e-12
+		}
+		if f > 1 {
+			f = 1
+		}
+		sel *= f
+	}
+	return sel
+}
+
+// modelBlob is the gob wire format of a saved model.
+type modelBlob struct {
+	Cfg  Config
+	NDVs []int
+}
+
+// Save writes the model configuration and parameters.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(modelBlob{Cfg: m.cfg, NDVs: m.table.NDVs()}); err != nil {
+		return fmt.Errorf("core: save model header: %w", err)
+	}
+	return nn.SaveParams(w, m.params)
+}
+
+// Load reads a model saved by Save, rebuilding it against t (whose NDV
+// profile must match the saved one).
+func Load(r io.Reader, t *relation.Table) (*Model, error) {
+	var blob modelBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: load model header: %w", err)
+	}
+	ndvs := t.NDVs()
+	if len(ndvs) != len(blob.NDVs) {
+		return nil, fmt.Errorf("core: model has %d columns, table has %d", len(blob.NDVs), len(ndvs))
+	}
+	for i := range ndvs {
+		if ndvs[i] != blob.NDVs[i] {
+			return nil, fmt.Errorf("core: column %d NDV mismatch: model %d, table %d", i, blob.NDVs[i], ndvs[i])
+		}
+	}
+	m := NewModel(t, blob.Cfg)
+	if err := nn.LoadParams(r, m.params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

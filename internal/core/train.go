@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"duet/internal/nn"
+	"duet/internal/tensor"
+	"duet/internal/workload"
+)
+
+// TrainConfig controls hybrid training (Algorithm 2).
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	// Sampler settings.
+	Mu             int
+	WildcardProb   float64
+	MaxPredsPerCol int
+	// ImportanceProb > 0 biases Algorithm 1's predicate sampling toward the
+	// historical distribution of Workload (paper, Section IV-C: replace
+	// uniform sampling with importance sampling under query time-locality).
+	ImportanceProb float64
+
+	// Hybrid training: Lambda scales the smoothed Q-Error query loss;
+	// Workload supplies the (historical or generated) training queries.
+	// Lambda == 0 or an empty workload trains the data-only DuetD variant.
+	Lambda     float64
+	Workload   []workload.LabeledQuery
+	QueryBatch int // queries per step; defaults to min(BatchSize, 64)
+
+	ClipNorm float64 // global gradient-norm clip; 0 disables
+	Seed     int64
+
+	// OnEpoch, when set, is invoked after each epoch; returning false stops
+	// training early (used for convergence traces and early stopping).
+	OnEpoch func(epoch int, s EpochStats) bool
+	// OnStep, when set, receives per-step losses (used for the Figure 3
+	// loss-convergence trace).
+	OnStep func(step int, s StepStats)
+}
+
+// DefaultTrainConfig returns the paper's defaults: µ=4, λ=0.1, Adam 1e-3.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       20,
+		BatchSize:    256,
+		LR:           1e-3,
+		Mu:           4,
+		WildcardProb: 0.25,
+		Lambda:       0.1,
+		ClipNorm:     16,
+		Seed:         42,
+	}
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch        int
+	DataLoss     float64 // mean cross-entropy (nats/tuple)
+	QueryLoss    float64 // mean log2(QErr+1), unscaled by lambda
+	RawQErr      float64 // mean raw Q-Error on training queries
+	Tuples       int     // source tuples consumed
+	TuplesPerSec float64
+	Duration     time.Duration
+}
+
+// StepStats carries per-step losses for convergence plots.
+type StepStats struct {
+	DataLoss  float64
+	QueryLoss float64 // log2(QErr+1), unscaled
+	RawQErr   float64
+}
+
+// Train runs Algorithm 2: per step it (1) samples a batch of virtual tuples
+// with Algorithm 1 and computes the unsupervised cross-entropy L_data, (2)
+// draws a batch of training queries, estimates them directly (no sampling)
+// and computes the supervised L_query = log2(QErr+1), then (3) descends on
+// L = L_data + λ·L_query. It returns per-epoch statistics.
+func Train(m *Model, cfg TrainConfig) []EpochStats {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		panic("core: Train needs positive Epochs and BatchSize")
+	}
+	qb := cfg.QueryBatch
+	if qb <= 0 {
+		qb = cfg.BatchSize
+		if qb > 64 {
+			qb = 64
+		}
+	}
+	hybrid := cfg.Lambda > 0 && len(cfg.Workload) > 0
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler := SamplerConfig{
+		Mu: cfg.Mu, WildcardProb: cfg.WildcardProb,
+		MaxPredsPerCol: cfg.MaxPredsPerCol, Seed: cfg.Seed + 1,
+	}
+	if cfg.ImportanceProb > 0 && len(cfg.Workload) > 0 {
+		qs := make([]workload.Query, len(cfg.Workload))
+		for i, lq := range cfg.Workload {
+			qs[i] = lq.Query
+		}
+		sampler.Importance = BuildImportanceStats(m.table.NumCols(), qs)
+		sampler.ImportanceProb = cfg.ImportanceProb
+	}
+	nRows := m.table.NumRows()
+	var history []EpochStats
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		perm := rng.Perm(nRows)
+		var dataLossSum, qLossSum, rawQSum float64
+		var steps int
+		for off := 0; off < nRows; off += cfg.BatchSize {
+			end := off + cfg.BatchSize
+			if end > nRows {
+				end = nRows
+			}
+			rows := perm[off:end]
+			nn.ZeroGrads(m.params)
+
+			// (1) Unsupervised pass over virtual tuples.
+			specs, labels := SampleVirtualTuples(m.table, rows, sampler, epoch)
+			logits := m.Forward(specs)
+			dLogits := tensor.New(logits.Rows, logits.Cols)
+			dataLoss := nn.SoftmaxCE(logits, m.net.Out, labels, dLogits)
+			m.Backward(dLogits)
+
+			// (2) Supervised pass over training queries.
+			var qLoss, rawQ float64
+			if hybrid {
+				batchQ := make([]workload.LabeledQuery, qb)
+				for i := range batchQ {
+					batchQ[i] = cfg.Workload[rng.Intn(len(cfg.Workload))]
+				}
+				qLoss, rawQ = m.queryLossBackward(batchQ, cfg.Lambda)
+			}
+
+			// (3) One descent step on the combined gradient.
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.params, cfg.ClipNorm)
+			}
+			opt.Step(m.params)
+
+			dataLossSum += dataLoss
+			qLossSum += qLoss
+			rawQSum += rawQ
+			steps++
+			step++
+			if cfg.OnStep != nil {
+				cfg.OnStep(step, StepStats{DataLoss: dataLoss, QueryLoss: qLoss, RawQErr: rawQ})
+			}
+		}
+		dur := time.Since(start)
+		s := EpochStats{
+			Epoch:    epoch,
+			DataLoss: dataLossSum / float64(steps),
+			Tuples:   nRows,
+			Duration: dur,
+		}
+		if hybrid {
+			s.QueryLoss = qLossSum / float64(steps)
+			s.RawQErr = rawQSum / float64(steps)
+		}
+		if sec := dur.Seconds(); sec > 0 {
+			s.TuplesPerSec = float64(nRows) / sec
+		}
+		history = append(history, s)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, s) {
+			break
+		}
+	}
+	return history
+}
+
+// queryLossBackward runs the differentiable estimation path on a query
+// batch, accumulates λ-scaled gradients into the model, and returns the mean
+// smoothed query loss and mean raw Q-Error. The gradient of the selectivity
+// product with respect to column i's logits is
+//
+//	d est / d z_iv = est/f_i · p_iv·(1[v∈I_i] − f_i)
+//
+// where f_i is column i's masked probability mass — the exact derivative of
+// Algorithm 3's masked sum-product, with est/f_i computed as a leave-one-out
+// product so near-zero masses stay numerically safe.
+func (m *Model) queryLossBackward(batch []workload.LabeledQuery, lambda float64) (qLoss, rawQ float64) {
+	specs := make([]Spec, len(batch))
+	for i, lq := range batch {
+		specs[i] = m.SpecFromQuery(lq.Query)
+	}
+	logits := m.Forward(specs)
+	dLogits := tensor.New(logits.Rows, logits.Cols)
+	total := float64(m.table.NumRows())
+	scale := lambda / float64(len(batch))
+	for b, lq := range batch {
+		ivs := lq.Query.ColumnIntervals(m.table)
+		cols := lq.Query.Columns()
+		if len(cols) == 0 {
+			continue
+		}
+		row := logits.Row(b)
+		fs := make([]float64, len(cols))
+		probsPer := make([][]float32, len(cols))
+		empty := false
+		for k, c := range cols {
+			seg := m.net.Out.Slice(row, c)
+			probs := make([]float32, len(seg))
+			nn.Softmax(probs, seg)
+			probsPer[k] = probs
+			iv := ivs[c]
+			if iv.Empty() {
+				empty = true
+				break
+			}
+			var f float64
+			for v := iv.Lo; v <= iv.Hi; v++ {
+				f += float64(probs[v])
+			}
+			if f < 1e-12 {
+				f = 1e-12
+			}
+			fs[k] = f
+		}
+		if empty {
+			continue // contradictory query: estimate is exactly 0, no signal
+		}
+		// Leave-one-out products: loo[k] = Π_{j≠k} f_j.
+		prod := 1.0
+		for _, f := range fs {
+			prod *= f
+		}
+		est := total * prod
+		loss, dEst := nn.QErrorLossGrad(est, float64(lq.Card), 1)
+		qLoss += loss
+		rawQ += nn.QError(est, float64(lq.Card))
+		dEst *= scale
+		prefix := make([]float64, len(fs)+1)
+		prefix[0] = 1
+		for k, f := range fs {
+			prefix[k+1] = prefix[k] * f
+		}
+		suffix := 1.0
+		dRow := dLogits.Row(b)
+		for k := len(cols) - 1; k >= 0; k-- {
+			c := cols[k]
+			loo := prefix[k] * suffix
+			suffix *= fs[k]
+			dF := dEst * total * loo
+			iv := ivs[c]
+			probs := probsPer[k]
+			dSeg := m.net.Out.Slice(dRow, c)
+			f := float32(fs[k])
+			for v, p := range probs {
+				in := float32(0)
+				if int32(v) >= iv.Lo && int32(v) <= iv.Hi {
+					in = 1
+				}
+				dSeg[v] += float32(dF) * p * (in - f)
+			}
+		}
+	}
+	m.Backward(dLogits)
+	n := float64(len(batch))
+	return qLoss / n, rawQ / n
+}

@@ -1,0 +1,346 @@
+// Package deepdb implements a DeepDB-style baseline (Hilprecht et al., VLDB
+// 2020): a relational sum-product network (RSPN) learned from the data.
+// Structure learning alternates between product nodes (splitting columns
+// into near-independent groups found by thresholded pairwise correlation) and
+// sum nodes (splitting rows by 2-means clustering); leaves are per-column
+// histograms. Selectivity inference is exact SPN evaluation of the
+// conjunctive interval query. The conditional-independence assumption the
+// product nodes introduce is precisely the accuracy limitation the paper
+// cites for DeepDB (Problem 2).
+package deepdb
+
+import (
+	"math"
+	"math/rand"
+
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// Config controls RSPN structure learning.
+type Config struct {
+	// MinRows stops row splitting: nodes with fewer rows factorize fully.
+	MinRows int
+	// CorrThreshold is the absolute Pearson correlation above which two
+	// columns are considered dependent.
+	CorrThreshold float64
+	// SampleRows caps the rows used for structure learning (0 = all).
+	SampleRows int
+	Seed       int64
+}
+
+// DefaultConfig returns the thresholds used by DeepDB-style systems.
+func DefaultConfig() Config {
+	return Config{MinRows: 256, CorrThreshold: 0.3, SampleRows: 20000, Seed: 42}
+}
+
+// Model is an RSPN cardinality estimator.
+type Model struct {
+	table *relation.Table
+	root  node
+	size  int64
+}
+
+// node is an SPN node able to compute P(query intervals) over its scope.
+type node interface {
+	prob(ivs []workload.Interval) float64
+	bytes() int64
+}
+
+// leaf is a single-column histogram with prefix sums for O(1) interval mass.
+type leaf struct {
+	col    int
+	prefix []float64 // prefix[i] = mass of codes < i; len = ndv+1
+}
+
+func (l *leaf) prob(ivs []workload.Interval) float64 {
+	iv := ivs[l.col]
+	if iv.Empty() {
+		return 0
+	}
+	hi := int(iv.Hi) + 1
+	if hi >= len(l.prefix) {
+		hi = len(l.prefix) - 1
+	}
+	lo := int(iv.Lo)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return 0
+	}
+	return l.prefix[hi] - l.prefix[lo]
+}
+
+func (l *leaf) bytes() int64 { return int64(len(l.prefix)) * 8 }
+
+// product multiplies children over disjoint column scopes.
+type product struct{ children []node }
+
+func (p *product) prob(ivs []workload.Interval) float64 {
+	out := 1.0
+	for _, c := range p.children {
+		out *= c.prob(ivs)
+		if out == 0 {
+			return 0
+		}
+	}
+	return out
+}
+
+func (p *product) bytes() int64 {
+	var b int64
+	for _, c := range p.children {
+		b += c.bytes()
+	}
+	return b
+}
+
+// sum mixes children over disjoint row clusters.
+type sum struct {
+	children []node
+	weights  []float64
+}
+
+func (s *sum) prob(ivs []workload.Interval) float64 {
+	var out float64
+	for i, c := range s.children {
+		out += s.weights[i] * c.prob(ivs)
+	}
+	return out
+}
+
+func (s *sum) bytes() int64 {
+	b := int64(len(s.weights)) * 8
+	for _, c := range s.children {
+		b += c.bytes()
+	}
+	return b
+}
+
+// New learns an RSPN for t.
+func New(t *relation.Table, cfg Config) *Model {
+	if cfg.MinRows < 2 {
+		cfg.MinRows = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]int32, t.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	if cfg.SampleRows > 0 && cfg.SampleRows < len(rows) {
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		rows = rows[:cfg.SampleRows]
+	}
+	scope := make([]int, t.NumCols())
+	for i := range scope {
+		scope[i] = i
+	}
+	m := &Model{table: t}
+	m.root = build(t, rows, scope, cfg, rng, 0)
+	m.size = m.root.bytes()
+	return m
+}
+
+// Name identifies the estimator.
+func (m *Model) Name() string { return "deepdb" }
+
+// SizeBytes reports the synopsis size.
+func (m *Model) SizeBytes() int64 { return m.size }
+
+// EstimateCard evaluates the SPN on the query's intervals.
+func (m *Model) EstimateCard(q workload.Query) float64 {
+	ivs := q.ColumnIntervals(m.table)
+	return m.root.prob(ivs) * float64(m.table.NumRows())
+}
+
+// build recursively constructs the SPN.
+func build(t *relation.Table, rows []int32, scope []int, cfg Config, rng *rand.Rand, depth int) node {
+	if len(scope) == 1 {
+		return newLeaf(t, rows, scope[0])
+	}
+	if len(rows) < cfg.MinRows || depth > 24 {
+		return factorize(t, rows, scope)
+	}
+	// Try a product split on independence structure.
+	groups := independentGroups(t, rows, scope, cfg.CorrThreshold)
+	if len(groups) > 1 {
+		p := &product{}
+		for _, g := range groups {
+			p.children = append(p.children, build(t, rows, g, cfg, rng, depth+1))
+		}
+		return p
+	}
+	// Otherwise split rows with 2-means.
+	a, b := cluster2(t, rows, scope, rng)
+	if len(a) == 0 || len(b) == 0 {
+		return factorize(t, rows, scope)
+	}
+	n := float64(len(rows))
+	return &sum{
+		children: []node{
+			build(t, a, scope, cfg, rng, depth+1),
+			build(t, b, scope, cfg, rng, depth+1),
+		},
+		weights: []float64{float64(len(a)) / n, float64(len(b)) / n},
+	}
+}
+
+// newLeaf builds a smoothed histogram over rows for one column.
+func newLeaf(t *relation.Table, rows []int32, col int) *leaf {
+	ndv := t.Cols[col].NumDistinct()
+	counts := make([]float64, ndv)
+	codes := t.Cols[col].Codes
+	for _, r := range rows {
+		counts[codes[r]]++
+	}
+	// Laplace smoothing keeps unseen values from zeroing products.
+	const alpha = 1e-3
+	total := float64(len(rows)) + alpha*float64(ndv)
+	prefix := make([]float64, ndv+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + (c+alpha)/total
+	}
+	return &leaf{col: col, prefix: prefix}
+}
+
+// factorize returns a product of leaves (full independence over the scope).
+func factorize(t *relation.Table, rows []int32, scope []int) node {
+	p := &product{}
+	for _, c := range scope {
+		p.children = append(p.children, newLeaf(t, rows, c))
+	}
+	return p
+}
+
+// independentGroups partitions the scope into connected components of the
+// thresholded |Pearson correlation| graph computed over rows.
+func independentGroups(t *relation.Table, rows []int32, scope []int, threshold float64) [][]int {
+	k := len(scope)
+	// Column statistics.
+	means := make([]float64, k)
+	stds := make([]float64, k)
+	vals := make([][]float64, k)
+	for i, c := range scope {
+		codes := t.Cols[c].Codes
+		v := make([]float64, len(rows))
+		var sum float64
+		for j, r := range rows {
+			v[j] = float64(codes[r])
+			sum += v[j]
+		}
+		mean := sum / float64(len(rows))
+		var sq float64
+		for j := range v {
+			v[j] -= mean
+			sq += v[j] * v[j]
+		}
+		means[i] = mean
+		stds[i] = math.Sqrt(sq)
+		vals[i] = v
+	}
+	// Union-find over correlated pairs.
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if stds[i] == 0 || stds[j] == 0 {
+				continue // constant column: independent of everything
+			}
+			var dot float64
+			for r := range vals[i] {
+				dot += vals[i][r] * vals[j][r]
+			}
+			corr := dot / (stds[i] * stds[j])
+			if math.Abs(corr) >= threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for i, c := range scope {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], c)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for i := 0; i < k; i++ { // deterministic order
+		if find(i) == i {
+			groups = append(groups, byRoot[i])
+		}
+	}
+	return groups
+}
+
+// cluster2 splits rows into two clusters with a few Lloyd iterations of
+// 2-means over NDV-normalized codes.
+func cluster2(t *relation.Table, rows []int32, scope []int, rng *rand.Rand) (a, b []int32) {
+	k := len(scope)
+	feat := func(r int32, dst []float64) {
+		for i, c := range scope {
+			ndv := float64(t.Cols[c].NumDistinct() - 1)
+			if ndv < 1 {
+				ndv = 1
+			}
+			dst[i] = float64(t.Cols[c].Codes[r]) / ndv
+		}
+	}
+	c0 := make([]float64, k)
+	c1 := make([]float64, k)
+	feat(rows[rng.Intn(len(rows))], c0)
+	feat(rows[rng.Intn(len(rows))], c1)
+	assign := make([]bool, len(rows)) // true -> cluster 1
+	tmp := make([]float64, k)
+	for iter := 0; iter < 8; iter++ {
+		n0, n1 := 0, 0
+		s0 := make([]float64, k)
+		s1 := make([]float64, k)
+		for ri, r := range rows {
+			feat(r, tmp)
+			var d0, d1 float64
+			for i := range tmp {
+				x0 := tmp[i] - c0[i]
+				x1 := tmp[i] - c1[i]
+				d0 += x0 * x0
+				d1 += x1 * x1
+			}
+			if d1 < d0 {
+				assign[ri] = true
+				n1++
+				for i := range tmp {
+					s1[i] += tmp[i]
+				}
+			} else {
+				assign[ri] = false
+				n0++
+				for i := range tmp {
+					s0[i] += tmp[i]
+				}
+			}
+		}
+		if n0 == 0 || n1 == 0 {
+			break
+		}
+		for i := range c0 {
+			c0[i] = s0[i] / float64(n0)
+			c1[i] = s1[i] / float64(n1)
+		}
+	}
+	for ri, r := range rows {
+		if assign[ri] {
+			b = append(b, r)
+		} else {
+			a = append(a, r)
+		}
+	}
+	return a, b
+}

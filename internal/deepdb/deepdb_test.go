@@ -1,0 +1,154 @@
+package deepdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"duet/internal/exec"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+func testTable(rows int) *relation.Table {
+	return relation.Generate(relation.SynConfig{
+		Name: "t", Rows: rows, Seed: 61,
+		Cols: []relation.ColSpec{
+			{Name: "a", NDV: 12, Skew: 1.4, Parent: -1},
+			{Name: "b", NDV: 6, Skew: 0, Parent: 0, Noise: 0.05},
+			{Name: "c", NDV: 30, Skew: 1.3, Parent: -1},
+			{Name: "d", NDV: 4, Skew: 0, Parent: -1},
+		},
+	})
+}
+
+func TestTotalMassIsOne(t *testing.T) {
+	tbl := testTable(1000)
+	m := New(tbl, DefaultConfig())
+	// Unconstrained query: SPN must integrate to ~1 (Laplace smoothing makes
+	// it exact up to float error).
+	got := m.EstimateCard(workload.Query{})
+	if got < 990 || got > 1010 {
+		t.Fatalf("total mass estimate %v, want ~1000", got)
+	}
+}
+
+func TestMarginalConsistencyProperty(t *testing.T) {
+	tbl := testTable(800)
+	m := New(tbl, DefaultConfig())
+	// P(a <= v) must be monotone in v and reach ~1.
+	col := 0
+	ndv := int32(tbl.Cols[col].NumDistinct())
+	prev := -1.0
+	for v := int32(0); v < ndv; v++ {
+		q := workload.Query{Preds: []workload.Predicate{{Col: col, Op: workload.OpLe, Code: v}}}
+		est := m.EstimateCard(q)
+		if est < prev-1e-6 {
+			t.Fatalf("marginal not monotone at %d: %v < %v", v, est, prev)
+		}
+		prev = est
+	}
+	if prev < 780 || prev > 820 {
+		t.Fatalf("full marginal %v, want ~800", prev)
+	}
+}
+
+func TestAccuracyReasonable(t *testing.T) {
+	tbl := testTable(2000)
+	m := New(tbl, DefaultConfig())
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 3, NumQueries: 150, MinPreds: 1, MaxPreds: 2, BoundedCol: -1})
+	labeled := exec.Label(tbl, qs)
+	var sum float64
+	for _, lq := range labeled {
+		sum += workload.QError(m.EstimateCard(lq.Query), float64(lq.Card))
+	}
+	if mean := sum / float64(len(labeled)); mean > 8 {
+		t.Fatalf("DeepDB mean Q-Error %.3f", mean)
+	}
+}
+
+func TestCorrelatedColumnsBeatIndependence(t *testing.T) {
+	// b is a near-deterministic function of a; the SPN should capture much
+	// of that, far better than assuming full independence would.
+	tbl := testTable(3000)
+	m := New(tbl, DefaultConfig())
+	q := workload.Query{Preds: []workload.Predicate{
+		{Col: 0, Op: workload.OpEq, Code: 0},
+		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes[indexWhere(tbl, 0, 0)]},
+	}}
+	act := float64(exec.Cardinality(tbl, q))
+	est := m.EstimateCard(q)
+	if workload.QError(est, act) > 20 {
+		t.Fatalf("correlated pair q-error %.2f (est %.1f act %.1f)", workload.QError(est, act), est, act)
+	}
+}
+
+// indexWhere returns the first row where column col has code value.
+func indexWhere(t *relation.Table, col int, value int32) int {
+	for r, c := range t.Cols[col].Codes {
+		if c == value {
+			return r
+		}
+	}
+	return 0
+}
+
+func TestEstimatesNonNegativeProperty(t *testing.T) {
+	tbl := testTable(500)
+	m := New(tbl, DefaultConfig())
+	f := func(c0, op0, v0, c1, op1, v1 uint8) bool {
+		mk := func(c, op, v uint8) workload.Predicate {
+			col := int(c) % tbl.NumCols()
+			return workload.Predicate{
+				Col:  col,
+				Op:   workload.Op(op % workload.NumOps),
+				Code: int32(int(v) % tbl.Cols[col].NumDistinct()),
+			}
+		}
+		q := workload.Query{Preds: []workload.Predicate{mk(c0, op0, v0), mk(c1, op1, v1)}}
+		est := m.EstimateCard(q)
+		return est >= 0 && est <= float64(tbl.NumRows())*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructureHasSumAndProduct(t *testing.T) {
+	tbl := testTable(2000)
+	m := New(tbl, DefaultConfig())
+	var sums, products, leaves int
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *sum:
+			sums++
+			for _, c := range v.children {
+				walk(c)
+			}
+		case *product:
+			products++
+			for _, c := range v.children {
+				walk(c)
+			}
+		case *leaf:
+			leaves++
+		}
+	}
+	walk(m.root)
+	if products == 0 || leaves == 0 {
+		t.Fatalf("degenerate structure: sums=%d products=%d leaves=%d", sums, products, leaves)
+	}
+	if m.SizeBytes() <= 0 || m.Name() != "deepdb" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestSampleRowsCap(t *testing.T) {
+	tbl := testTable(5000)
+	cfg := DefaultConfig()
+	cfg.SampleRows = 500
+	m := New(tbl, cfg)
+	if got := m.EstimateCard(workload.Query{}); got < 4800 || got > 5200 {
+		t.Fatalf("sampled build total mass: %v", got)
+	}
+}

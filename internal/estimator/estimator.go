@@ -1,0 +1,60 @@
+// Package estimator defines the interface every cardinality estimator in
+// this repository implements, plus shared evaluation helpers.
+package estimator
+
+import (
+	"time"
+
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// Estimator estimates the cardinality of a query against the table it was
+// built for.
+type Estimator interface {
+	// Name identifies the method ("duet", "naru", ...).
+	Name() string
+	// EstimateCard returns the estimated number of matching tuples.
+	EstimateCard(q workload.Query) float64
+	// SizeBytes reports the memory footprint of the model/synopsis.
+	SizeBytes() int64
+}
+
+// Result is the evaluation outcome of one estimator on one workload.
+type Result struct {
+	Estimator string
+	Stats     workload.Stats
+	MeanLatNS float64 // mean per-query estimation latency
+	SizeBytes int64
+}
+
+// Evaluate runs est on labeled queries, returning Q-Error stats and mean
+// estimation latency. Estimation runs single-threaded to make latency
+// comparable across methods, matching how the paper reports per-query cost.
+func Evaluate(est Estimator, queries []workload.LabeledQuery) Result {
+	errs := make([]float64, len(queries))
+	var total time.Duration
+	for i, lq := range queries {
+		start := time.Now()
+		card := est.EstimateCard(lq.Query)
+		total += time.Since(start)
+		errs[i] = workload.QError(card, float64(lq.Card))
+	}
+	mean := 0.0
+	if len(queries) > 0 {
+		mean = float64(total.Nanoseconds()) / float64(len(queries))
+	}
+	return Result{
+		Estimator: est.Name(),
+		Stats:     workload.Summarize(errs),
+		MeanLatNS: mean,
+		SizeBytes: est.SizeBytes(),
+	}
+}
+
+// TableEstimator couples an estimator with the table it models; some
+// harnesses need the table for context (|T|, NDVs).
+type TableEstimator struct {
+	Est   Estimator
+	Table *relation.Table
+}

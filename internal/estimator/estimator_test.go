@@ -1,0 +1,50 @@
+package estimator
+
+import (
+	"testing"
+
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// constEstimator returns a fixed cardinality.
+type constEstimator struct{ card float64 }
+
+func (c constEstimator) Name() string                          { return "const" }
+func (c constEstimator) EstimateCard(q workload.Query) float64 { return c.card }
+func (c constEstimator) SizeBytes() int64                      { return 8 }
+
+func TestEvaluateStats(t *testing.T) {
+	queries := []workload.LabeledQuery{
+		{Card: 10}, {Card: 100}, {Card: 1000},
+	}
+	r := Evaluate(constEstimator{card: 100}, queries)
+	if r.Estimator != "const" || r.SizeBytes != 8 {
+		t.Fatalf("metadata: %+v", r)
+	}
+	if r.Stats.N != 3 {
+		t.Fatalf("N=%d", r.Stats.N)
+	}
+	// Q-Errors are 10, 1, 10.
+	if r.Stats.Max != 10 || r.Stats.Median != 10 {
+		t.Fatalf("stats: %+v", r.Stats)
+	}
+	if r.MeanLatNS < 0 {
+		t.Fatal("latency")
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	r := Evaluate(constEstimator{card: 1}, nil)
+	if r.Stats.N != 0 || r.MeanLatNS != 0 {
+		t.Fatalf("empty workload: %+v", r)
+	}
+}
+
+func TestTableEstimatorBinding(t *testing.T) {
+	tbl := relation.NewTable("t", []*relation.Column{relation.NewIntColumn("a", []int64{1, 2, 3})})
+	te := TableEstimator{Est: constEstimator{card: 3}, Table: tbl}
+	if te.Table.NumRows() != 3 || te.Est.Name() != "const" {
+		t.Fatal("binding")
+	}
+}

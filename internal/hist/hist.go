@@ -1,0 +1,192 @@
+// Package hist implements the MHist baseline: a multi-dimensional histogram
+// with per-dimension equi-depth bucket boundaries, sparse occupied-bucket
+// storage, and uniform-spread estimation inside buckets. It is the strongest
+// of the traditional synopses the paper compares against and, like them,
+// degrades sharply with dimensionality.
+package hist
+
+import (
+	"math"
+
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// Config controls histogram construction.
+type Config struct {
+	// BucketBudget caps the nominal number of grid cells; the per-dimension
+	// bucket count is budget^(1/N) clamped to [1, MaxPerDim].
+	BucketBudget float64
+	MaxPerDim    int
+}
+
+// DefaultConfig gives a few thousand buckets, the usual DBMS budget.
+func DefaultConfig() Config { return Config{BucketBudget: 4096, MaxPerDim: 16} }
+
+// Model is an MHist estimator.
+type Model struct {
+	table *relation.Table
+	// bounds[d] holds ascending bucket upper-bound codes (inclusive); the
+	// bucket of code v is the first b with v <= bounds[d][b].
+	bounds  [][]int32
+	buckets map[string]*bucket
+	size    int64
+}
+
+// bucket is one occupied grid cell.
+type bucket struct {
+	coord []int32
+	count float64
+}
+
+// New builds the histogram with one scan of the table.
+func New(t *relation.Table, cfg Config) *Model {
+	n := t.NumCols()
+	if cfg.BucketBudget <= 1 {
+		cfg.BucketBudget = 4096
+	}
+	if cfg.MaxPerDim < 1 {
+		cfg.MaxPerDim = 16
+	}
+	perDim := int(math.Floor(math.Pow(cfg.BucketBudget, 1.0/float64(n))))
+	if perDim < 1 {
+		perDim = 1
+	}
+	if perDim > cfg.MaxPerDim {
+		perDim = cfg.MaxPerDim
+	}
+	m := &Model{table: t, bounds: make([][]int32, n), buckets: map[string]*bucket{}}
+	for d, c := range t.Cols {
+		m.bounds[d] = equiDepthBounds(c, perDim)
+	}
+	coord := make([]int32, n)
+	key := make([]byte, n*4)
+	for r := 0; r < t.NumRows(); r++ {
+		for d, c := range t.Cols {
+			coord[d] = bucketOf(m.bounds[d], c.Codes[r])
+		}
+		k := encodeKey(key, coord)
+		b := m.buckets[k]
+		if b == nil {
+			b = &bucket{coord: append([]int32(nil), coord...)}
+			m.buckets[k] = b
+		}
+		b.count++
+	}
+	for _, b := range m.buckets {
+		m.size += int64(len(b.coord))*4 + 8
+	}
+	for _, bs := range m.bounds {
+		m.size += int64(len(bs)) * 4
+	}
+	return m
+}
+
+// equiDepthBounds returns nb inclusive upper bounds splitting the column's
+// value frequency mass evenly.
+func equiDepthBounds(c *relation.Column, nb int) []int32 {
+	ndv := c.NumDistinct()
+	if nb >= ndv {
+		out := make([]int32, ndv)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	counts := make([]int64, ndv)
+	for _, code := range c.Codes {
+		counts[code]++
+	}
+	total := int64(len(c.Codes))
+	per := total / int64(nb)
+	if per < 1 {
+		per = 1
+	}
+	var out []int32
+	var acc int64
+	for v := 0; v < ndv; v++ {
+		acc += counts[v]
+		if acc >= per && len(out) < nb-1 {
+			out = append(out, int32(v))
+			acc = 0
+		}
+	}
+	out = append(out, int32(ndv-1))
+	return out
+}
+
+// bucketOf returns the bucket index of code.
+func bucketOf(bounds []int32, code int32) int32 {
+	lo, hi := 0, len(bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if code <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return int32(lo)
+}
+
+func encodeKey(buf []byte, coord []int32) string {
+	for i, v := range coord {
+		buf[i*4] = byte(v)
+		buf[i*4+1] = byte(v >> 8)
+		buf[i*4+2] = byte(v >> 16)
+		buf[i*4+3] = byte(v >> 24)
+	}
+	return string(buf)
+}
+
+// Name identifies the estimator.
+func (m *Model) Name() string { return "mhist" }
+
+// SizeBytes reports the synopsis size.
+func (m *Model) SizeBytes() int64 { return m.size }
+
+// NumBuckets returns the number of occupied buckets.
+func (m *Model) NumBuckets() int { return len(m.buckets) }
+
+// EstimateCard sums, over occupied buckets, the bucket count scaled by the
+// fraction of the bucket's code range overlapping the query intervals in
+// each dimension (the uniform-spread assumption).
+func (m *Model) EstimateCard(q workload.Query) float64 {
+	ivs := q.ColumnIntervals(m.table)
+	cols := q.Columns()
+	if len(cols) == 0 {
+		return float64(m.table.NumRows())
+	}
+	var est float64
+	for _, b := range m.buckets {
+		frac := 1.0
+		for _, d := range cols {
+			lo, hi := m.bucketRange(d, b.coord[d])
+			iv := ivs[d]
+			l, h := iv.Lo, iv.Hi
+			if l < lo {
+				l = lo
+			}
+			if h > hi {
+				h = hi
+			}
+			if l > h {
+				frac = 0
+				break
+			}
+			frac *= float64(h-l+1) / float64(hi-lo+1)
+		}
+		est += b.count * frac
+	}
+	return est
+}
+
+// bucketRange returns the inclusive code range of bucket idx in dimension d.
+func (m *Model) bucketRange(d int, idx int32) (lo, hi int32) {
+	bounds := m.bounds[d]
+	hi = bounds[idx]
+	if idx == 0 {
+		return 0, hi
+	}
+	return bounds[idx-1] + 1, hi
+}

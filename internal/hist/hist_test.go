@@ -1,0 +1,101 @@
+package hist
+
+import (
+	"testing"
+
+	"duet/internal/exec"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+func testTable(rows int) *relation.Table {
+	return relation.Generate(relation.SynConfig{
+		Name: "t", Rows: rows, Seed: 71,
+		Cols: []relation.ColSpec{
+			{Name: "a", NDV: 20, Skew: 1.4, Parent: -1},
+			{Name: "b", NDV: 8, Skew: 0, Parent: 0, Noise: 0.3},
+			{Name: "c", NDV: 50, Skew: 1.2, Parent: -1},
+		},
+	})
+}
+
+func TestMassConservation(t *testing.T) {
+	tbl := testTable(1000)
+	m := New(tbl, DefaultConfig())
+	// Full-domain query over every column must return exactly |T|.
+	var preds []workload.Predicate
+	for c := range tbl.Cols {
+		preds = append(preds, workload.Predicate{Col: c, Op: workload.OpGe, Code: 0})
+	}
+	got := m.EstimateCard(workload.Query{Preds: preds})
+	if got < 999.5 || got > 1000.5 {
+		t.Fatalf("full-domain estimate %v, want 1000", got)
+	}
+	if m.EstimateCard(workload.Query{}) != 1000 {
+		t.Fatal("empty query")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	bounds := []int32{3, 7, 15}
+	cases := []struct {
+		code int32
+		want int32
+	}{{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 2}}
+	for _, tc := range cases {
+		if got := bucketOf(bounds, tc.code); got != tc.want {
+			t.Fatalf("bucketOf(%d)=%d want %d", tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestEquiDepthBoundsCoverDomain(t *testing.T) {
+	tbl := testTable(2000)
+	for _, c := range tbl.Cols {
+		bounds := equiDepthBounds(c, 4)
+		if bounds[len(bounds)-1] != int32(c.NumDistinct()-1) {
+			t.Fatalf("last bound %d != ndv-1", bounds[len(bounds)-1])
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("bounds not increasing: %v", bounds)
+			}
+		}
+	}
+}
+
+func TestAccuracyOnEqualityHeavyWorkload(t *testing.T) {
+	tbl := testTable(3000)
+	m := New(tbl, DefaultConfig())
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 5, NumQueries: 200, MinPreds: 1, MaxPreds: 2, BoundedCol: -1})
+	labeled := exec.Label(tbl, qs)
+	var sum float64
+	for _, lq := range labeled {
+		sum += workload.QError(m.EstimateCard(lq.Query), float64(lq.Card))
+	}
+	mean := sum / float64(len(labeled))
+	// MHist is coarse but must stay in a sane band on a 3-column table.
+	if mean > 30 {
+		t.Fatalf("MHist mean Q-Error %.3f", mean)
+	}
+}
+
+func TestSingleBucketDegenerate(t *testing.T) {
+	tbl := testTable(500)
+	m := New(tbl, Config{BucketBudget: 1.5, MaxPerDim: 1})
+	if m.NumBuckets() != 1 {
+		t.Fatalf("expected a single bucket, got %d", m.NumBuckets())
+	}
+	q := workload.Query{Preds: []workload.Predicate{{Col: 0, Op: workload.OpLe, Code: 9}}}
+	est := m.EstimateCard(q)
+	if est <= 0 || est > 500 {
+		t.Fatalf("degenerate estimate %v", est)
+	}
+}
+
+func TestSizeAndName(t *testing.T) {
+	m := New(testTable(200), DefaultConfig())
+	if m.SizeBytes() <= 0 || m.Name() != "mhist" {
+		t.Fatal("metadata")
+	}
+}

@@ -1,0 +1,163 @@
+// Package made implements MADE (Germain et al., 2015) and ResMADE masked
+// autoregressive networks over per-column input/output blocks, the network
+// family used by Naru, UAE and Duet.
+//
+// The input vector is partitioned into one block per table column (the
+// column's value/predicate encoding); the output vector is partitioned into
+// one block per column holding logits over that column's distinct values.
+// Degree-based binary masks guarantee the autoregressive property: output
+// block i depends only on input blocks j < i, so block 0 is the
+// unconditional distribution P(C_0) and block i models P(C_i | inputs_<i).
+package made
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duet/internal/nn"
+	"duet/internal/tensor"
+)
+
+// Config describes a MADE network.
+type Config struct {
+	InBlocks  []int // width of each column's input encoding block
+	OutBlocks []int // width of each column's output block (its NDV)
+	Hidden    []int // hidden layer widths; for Residual nets all must be equal
+	Residual  bool  // build ResMADE: Hidden[k] pairs become residual blocks
+	Seed      int64
+}
+
+// MADE is a masked autoregressive network.
+type MADE struct {
+	Cfg Config
+	Net *nn.Sequential
+	In  nn.Blocks // input block layout
+	Out nn.Blocks // output (logit) block layout
+}
+
+// New builds the network, constructing degree-based masks. With N columns,
+// input block j has degree j+1, hidden units cycle degrees 1..N-1, and
+// output block j (degree j+1) connects to hidden units of strictly smaller
+// degree; consequently output block 0 receives no input connections and is
+// produced by bias alone, as required for the unconditional P(C_0).
+func New(cfg Config) *MADE {
+	n := len(cfg.InBlocks)
+	if n == 0 || n != len(cfg.OutBlocks) {
+		panic(fmt.Sprintf("made: bad block config in=%d out=%d", len(cfg.InBlocks), len(cfg.OutBlocks)))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := nn.NewBlocks(cfg.InBlocks)
+	out := nn.NewBlocks(cfg.OutBlocks)
+
+	inDeg := blockDegrees(cfg.InBlocks)
+	outDeg := blockDegrees(cfg.OutBlocks)
+
+	var layers []nn.Layer
+	prevDeg := inDeg
+	prevWidth := in.Tot
+	if cfg.Residual {
+		if len(cfg.Hidden) == 0 {
+			panic("made: residual net needs at least one hidden width")
+		}
+		h := cfg.Hidden[0]
+		for _, w := range cfg.Hidden {
+			if w != h {
+				panic("made: residual net requires equal hidden widths")
+			}
+		}
+		hDeg := hiddenDegrees(h, n)
+		// Input projection.
+		layers = append(layers,
+			nn.NewMaskedLinear(prevWidth, h, maskGE(prevDeg, hDeg), rng), nn.NewReLU())
+		// One residual block per configured hidden layer.
+		for range cfg.Hidden {
+			inner := nn.NewSequential(
+				nn.NewMaskedLinear(h, h, maskGE(hDeg, hDeg), rng),
+				nn.NewReLU(),
+				nn.NewMaskedLinear(h, h, maskGE(hDeg, hDeg), rng),
+			)
+			layers = append(layers, nn.NewResidual(inner), nn.NewReLU())
+		}
+		prevDeg, prevWidth = hDeg, h
+	} else {
+		for _, h := range cfg.Hidden {
+			hDeg := hiddenDegrees(h, n)
+			layers = append(layers,
+				nn.NewMaskedLinear(prevWidth, h, maskGE(prevDeg, hDeg), rng), nn.NewReLU())
+			prevDeg, prevWidth = hDeg, h
+		}
+	}
+	layers = append(layers,
+		nn.NewMaskedLinear(prevWidth, out.Tot, maskGT(prevDeg, outDeg), rng))
+
+	return &MADE{Cfg: cfg, Net: nn.NewSequential(layers...), In: in, Out: out}
+}
+
+// blockDegrees expands per-block widths into a unit degree vector where every
+// unit of block j has degree j+1.
+func blockDegrees(blocks []int) []int {
+	var deg []int
+	for j, w := range blocks {
+		for k := 0; k < w; k++ {
+			deg = append(deg, j+1)
+		}
+	}
+	return deg
+}
+
+// hiddenDegrees assigns degrees 1..n-1 cyclically to width units. With a
+// single column there are no valid hidden degrees; units get degree 1 and the
+// output mask disconnects them, leaving a bias-only unconditional model.
+func hiddenDegrees(width, n int) []int {
+	maxDeg := n - 1
+	if maxDeg < 1 {
+		maxDeg = 1
+	}
+	deg := make([]int, width)
+	for i := range deg {
+		deg[i] = 1 + i%maxDeg
+	}
+	return deg
+}
+
+// maskGE builds the in×out mask with M[i,o]=1 iff degOut[o] >= degIn[i]
+// (input→hidden and hidden→hidden rule).
+func maskGE(degIn, degOut []int) *tensor.Matrix {
+	m := tensor.New(len(degIn), len(degOut))
+	for i, di := range degIn {
+		row := m.Row(i)
+		for o, do := range degOut {
+			if do >= di {
+				row[o] = 1
+			}
+		}
+	}
+	return m
+}
+
+// maskGT builds the in×out mask with M[i,o]=1 iff degOut[o] > degIn[i]
+// (hidden→output rule).
+func maskGT(degIn, degOut []int) *tensor.Matrix {
+	m := tensor.New(len(degIn), len(degOut))
+	for i, di := range degIn {
+		row := m.Row(i)
+		for o, do := range degOut {
+			if do > di {
+				row[o] = 1
+			}
+		}
+	}
+	return m
+}
+
+// Forward runs the network on a batch of encoded inputs.
+func (m *MADE) Forward(x *tensor.Matrix) *tensor.Matrix { return m.Net.Forward(x) }
+
+// Backward backpropagates the logit gradient and returns the input gradient.
+func (m *MADE) Backward(dOut *tensor.Matrix) *tensor.Matrix { return m.Net.Backward(dOut) }
+
+// Params returns all trainable parameters.
+func (m *MADE) Params() []*nn.Param { return m.Net.Params() }
+
+// NumCols returns the number of columns (blocks).
+func (m *MADE) NumCols() int { return m.In.N() }

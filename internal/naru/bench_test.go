@@ -1,0 +1,27 @@
+package naru
+
+import (
+	"testing"
+
+	"duet/internal/workload"
+)
+
+// BenchmarkProgressiveSampling measures Naru's per-query estimation cost
+// (n constrained columns × one forward pass of the sample batch), the O(n)
+// baseline Duet's O(1) inference is compared against.
+func BenchmarkProgressiveSampling(b *testing.B) {
+	tbl := testTable(1000)
+	cfg := smallConfig()
+	cfg.Samples = 128
+	m := New(tbl, cfg)
+	q := workload.Query{Preds: []workload.Predicate{
+		{Col: 0, Op: workload.OpGe, Code: 2},
+		{Col: 1, Op: workload.OpLe, Code: 2},
+		{Col: 2, Op: workload.OpLt, Code: 60},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateCard(q)
+	}
+}

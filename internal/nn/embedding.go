@@ -1,0 +1,37 @@
+package nn
+
+import (
+	"math/rand"
+
+	"duet/internal/tensor"
+)
+
+// Embedding is a learned lookup table mapping integer ids to Dim-sized
+// vectors. It is not a Layer (its input is indices, not a matrix); encoders
+// call Lookup during their forward pass and AccumGrad during backprop.
+type Embedding struct {
+	Num, Dim int
+	Table    *Param // Num×Dim
+}
+
+// NewEmbedding creates an embedding table with N(0, 1/Dim) initialization.
+func NewEmbedding(num, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Num: num, Dim: dim, Table: NewParam("embedding", num, dim)}
+	tensor.RandNormal(e.Table.W, 1.0/float64(dim), rng)
+	return e
+}
+
+// Lookup returns the vector for id, aliasing the table storage. Callers must
+// treat the result as read-only.
+func (e *Embedding) Lookup(id int) []float32 { return e.Table.W.Row(id) }
+
+// AccumGrad adds d into the gradient row for id.
+func (e *Embedding) AccumGrad(id int, d []float32) {
+	row := e.Table.G.Row(id)
+	for i, v := range d {
+		row[i] += v
+	}
+}
+
+// Params returns the embedding table parameter.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }

@@ -1,0 +1,228 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"duet/internal/tensor"
+)
+
+func TestBlocksLayout(t *testing.T) {
+	b := NewBlocks([]int{3, 1, 4})
+	if b.Tot != 8 || b.N() != 3 {
+		t.Fatalf("layout: %+v", b)
+	}
+	row := []float32{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := b.Slice(row, 2); len(got) != 4 || got[0] != 4 {
+		t.Fatalf("Slice: %v", got)
+	}
+}
+
+func TestSoftmaxNormalizesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		logits := make([]float32, n)
+		for i := range logits {
+			logits[i] = float32(rng.NormFloat64() * 10)
+		}
+		probs := make([]float32, n)
+		Softmax(probs, logits)
+		var sum float64
+		for _, p := range probs {
+			if p < 0 {
+				return false
+			}
+			sum += float64(p)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxExtremeLogits(t *testing.T) {
+	probs := make([]float32, 3)
+	Softmax(probs, []float32{1000, -1000, 999})
+	if math.IsNaN(float64(probs[0])) || probs[0] <= probs[2] {
+		t.Fatalf("unstable softmax: %v", probs)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float32{0, 0})
+	if math.Abs(got-math.Log(2)) > 1e-6 {
+		t.Fatalf("LogSumExp([0,0])=%v", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Fatal("empty LogSumExp should be -inf")
+	}
+}
+
+func TestSoftmaxCEKnownValue(t *testing.T) {
+	blocks := NewBlocks([]int{2})
+	logits := tensor.FromSlice(1, 2, []float32{0, 0})
+	loss := SoftmaxCE(logits, blocks, [][]int32{{0}}, nil)
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("uniform 2-way CE should be ln2, got %v", loss)
+	}
+}
+
+func TestSoftmaxCESkipsWildcardLabels(t *testing.T) {
+	blocks := NewBlocks([]int{2, 3})
+	logits := tensor.New(1, 5)
+	full := SoftmaxCE(logits, blocks, [][]int32{{0, 0}}, nil)
+	skip := SoftmaxCE(logits, blocks, [][]int32{{0, -1}}, nil)
+	if skip >= full {
+		t.Fatalf("wildcard block should reduce loss: full=%v skip=%v", full, skip)
+	}
+	d := tensor.New(1, 5)
+	SoftmaxCE(logits, blocks, [][]int32{{0, -1}}, d)
+	for i := 2; i < 5; i++ {
+		if d.Data[i] != 0 {
+			t.Fatalf("gradient leaked into wildcard block: %v", d.Data)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	p := tensor.FromSlice(1, 2, []float32{1, 3})
+	y := tensor.FromSlice(1, 2, []float32{0, 1})
+	d := tensor.New(1, 2)
+	loss := MSE(p, y, d)
+	if math.Abs(loss-2.5) > 1e-6 {
+		t.Fatalf("MSE=%v want 2.5", loss)
+	}
+	if math.Abs(float64(d.Data[1])-2) > 1e-6 {
+		t.Fatalf("dMSE=%v want 2", d.Data[1])
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		e := float64(a%1e8) + 0.5
+		c := float64(b%1e8) + 0.5
+		q := QError(e, c)
+		return q >= 1 && q == QError(c, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if QError(0, 0) != 1 {
+		t.Fatal("QError clamps both sides to 1")
+	}
+	if QError(10, 100) != 10 {
+		t.Fatal("QError(10,100) should be 10")
+	}
+}
+
+func TestQErrorLossGradFiniteDiff(t *testing.T) {
+	for _, tc := range []struct{ est, act float64 }{
+		{100, 10}, {10, 100}, {5, 5.1}, {1e6, 3}, {2, 1e5},
+	} {
+		loss, dEst := QErrorLossGrad(tc.est, tc.act, 1)
+		if loss < 0 {
+			t.Fatalf("negative loss for %+v", tc)
+		}
+		const eps = 1e-4
+		lp, _ := QErrorLossGrad(tc.est*(1+eps), tc.act, 1)
+		lm, _ := QErrorLossGrad(tc.est*(1-eps), tc.act, 1)
+		num := (lp - lm) / (2 * eps * tc.est)
+		if math.Abs(num-dEst) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("est=%v act=%v: analytic %v numeric %v", tc.est, tc.act, dEst, num)
+		}
+	}
+}
+
+func TestQErrorLossDecreasesTowardActual(t *testing.T) {
+	// Gradient must always point est toward act.
+	l1, d := QErrorLossGrad(100, 10, 1)
+	if d <= 0 {
+		t.Fatal("over-estimate should have positive dEst")
+	}
+	l2, d2 := QErrorLossGrad(1, 10, 1)
+	if d2 >= 0 {
+		t.Fatal("under-estimate should have negative dEst")
+	}
+	if l1 <= 0 || l2 <= 0 {
+		t.Fatal("nonzero Q-Error must have positive loss")
+	}
+	exact, _ := QErrorLossGrad(10, 10, 1)
+	if exact != 1 { // log2(1+1) = 1
+		t.Fatalf("exact estimate loss = %v, want log2(2)=1", exact)
+	}
+}
+
+func TestOptimizersReduceQuadratic(t *testing.T) {
+	// Minimize f(w) = 0.5*||w - target||^2; gradient = w - target.
+	target := []float32{1, -2, 3}
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewSGD(0.1, 0) },
+		func() Optimizer { return NewSGD(0.05, 0.9) },
+		func() Optimizer { return NewAdam(0.1) },
+	} {
+		p := NewParam("w", 1, 3)
+		opt := mk()
+		for i := 0; i < 300; i++ {
+			for j := range p.W.Data {
+				p.G.Data[j] = p.W.Data[j] - target[j]
+			}
+			opt.Step([]*Param{p})
+		}
+		for j := range target {
+			if math.Abs(float64(p.W.Data[j]-target[j])) > 0.05 {
+				t.Fatalf("%T failed to converge: %v", opt, p.W.Data)
+			}
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", 1, 2)
+	p.G.Data[0], p.G.Data[1] = 3, 4
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-6 {
+		t.Fatalf("pre-clip norm %v want 5", norm)
+	}
+	if math.Abs(float64(p.G.Data[0])-0.6) > 1e-5 {
+		t.Fatalf("clipped grad %v", p.G.Data)
+	}
+	// Below threshold: untouched.
+	p.G.Data[0], p.G.Data[1] = 0.1, 0
+	ClipGradNorm([]*Param{p}, 1)
+	if p.G.Data[0] != 0.1 {
+		t.Fatal("grad below max norm must not change")
+	}
+}
+
+func TestSaveLoadParamsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l1 := NewLinear(3, 4, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLinear(3, 4, rand.New(rand.NewSource(99)))
+	if l2.Weight.W.Equal(l1.Weight.W) {
+		t.Fatal("test setup: weights should differ before load")
+	}
+	if err := LoadParams(&buf, l2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Weight.W.Equal(l1.Weight.W) || !l2.Bias.W.Equal(l1.Bias.W) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Shape mismatch must error.
+	var buf2 bytes.Buffer
+	if err := SaveParams(&buf2, l1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	l3 := NewLinear(4, 3, rng)
+	if err := LoadParams(&buf2, l3.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"duet/internal/tensor"
+)
+
+// Optimizer applies one update step from accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*Param]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies w -= lr·(momentum·v + g).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			p.W.AddScaled(p.G, float32(-o.LR))
+			continue
+		}
+		v := o.vel[p]
+		if v == nil {
+			v = tensor.New(p.W.Rows, p.W.Cols)
+			o.vel[p] = v
+		}
+		mu := float32(o.Momentum)
+		lr := float32(o.LR)
+		for i, g := range p.G.Data {
+			v.Data[i] = mu*v.Data[i] + g
+			p.W.Data[i] -= lr * v.Data[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction (Kingma & Ba, 2015). The
+// original Naru/Duet training loops both use Adam with lr=2e-4..1e-3.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Matrix), v: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	lr := o.LR * math.Sqrt(c2) / c1
+	b1 := float32(o.Beta1)
+	b2 := float32(o.Beta2)
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = tensor.New(p.W.Rows, p.W.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.W.Rows, p.W.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.G.Data {
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			p.W.Data[i] -= float32(lr * float64(m.Data[i]) / (math.Sqrt(float64(v.Data[i])) + o.Eps))
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, and returns the pre-clip norm. It guards the hybrid Q-Error loss
+// against the gradient explosions the paper reports for UAE.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,76 @@
+package nn
+
+import "math"
+
+// LRSchedule maps a training step to a learning-rate multiplier. Schedules
+// compose with any optimizer whose LR field they scale.
+type LRSchedule interface {
+	// Factor returns the LR multiplier for 0-based step t of totalSteps.
+	Factor(t, totalSteps int) float64
+}
+
+// ConstantLR keeps the learning rate fixed.
+type ConstantLR struct{}
+
+// Factor returns 1.
+func (ConstantLR) Factor(int, int) float64 { return 1 }
+
+// WarmupCosine linearly warms up over WarmupSteps, then decays with a
+// half-cosine to FloorFactor — the schedule commonly used to stabilize
+// autoregressive-model training.
+type WarmupCosine struct {
+	WarmupSteps int
+	FloorFactor float64 // final multiplier, in [0, 1)
+}
+
+// Factor implements LRSchedule.
+func (s WarmupCosine) Factor(t, totalSteps int) float64 {
+	if s.WarmupSteps > 0 && t < s.WarmupSteps {
+		return float64(t+1) / float64(s.WarmupSteps)
+	}
+	if totalSteps <= s.WarmupSteps {
+		return 1
+	}
+	progress := float64(t-s.WarmupSteps) / float64(totalSteps-s.WarmupSteps)
+	if progress > 1 {
+		progress = 1
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*progress))
+	return s.FloorFactor + (1-s.FloorFactor)*cos
+}
+
+// StepDecay multiplies the rate by Gamma every Every steps.
+type StepDecay struct {
+	Every int
+	Gamma float64
+}
+
+// Factor implements LRSchedule.
+func (s StepDecay) Factor(t, _ int) float64 {
+	if s.Every <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(t/s.Every))
+}
+
+// ScheduledAdam wraps Adam with a learning-rate schedule.
+type ScheduledAdam struct {
+	*Adam
+	Base     float64
+	Schedule LRSchedule
+	Total    int
+	step     int
+}
+
+// NewScheduledAdam creates an Adam optimizer whose LR follows schedule over
+// totalSteps steps.
+func NewScheduledAdam(lr float64, schedule LRSchedule, totalSteps int) *ScheduledAdam {
+	return &ScheduledAdam{Adam: NewAdam(lr), Base: lr, Schedule: schedule, Total: totalSteps}
+}
+
+// Step applies the scheduled rate, then one Adam update.
+func (o *ScheduledAdam) Step(params []*Param) {
+	o.Adam.LR = o.Base * o.Schedule.Factor(o.step, o.Total)
+	o.step++
+	o.Adam.Step(params)
+}

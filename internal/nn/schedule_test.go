@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosine{WarmupSteps: 10, FloorFactor: 0.1}
+	total := 100
+	// Warmup is increasing from >0 to 1.
+	prev := 0.0
+	for i := 0; i < 10; i++ {
+		f := s.Factor(i, total)
+		if f <= prev || f > 1 {
+			t.Fatalf("warmup not increasing at %d: %v", i, f)
+		}
+		prev = f
+	}
+	if f := s.Factor(9, total); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("warmup should end at 1, got %v", f)
+	}
+	// Decay is non-increasing and ends at the floor.
+	prev = 2
+	for i := 10; i < total; i++ {
+		f := s.Factor(i, total)
+		if f > prev+1e-12 {
+			t.Fatalf("decay increased at %d: %v > %v", i, f, prev)
+		}
+		prev = f
+	}
+	if f := s.Factor(total, total); math.Abs(f-0.1) > 1e-9 {
+		t.Fatalf("floor factor: %v", f)
+	}
+	// Degenerate: total <= warmup.
+	if f := s.Factor(50, 5); f != 1 {
+		t.Fatalf("degenerate schedule: %v", f)
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Every: 10, Gamma: 0.5}
+	if s.Factor(9, 0) != 1 || s.Factor(10, 0) != 0.5 || s.Factor(25, 0) != 0.25 {
+		t.Fatalf("step decay: %v %v %v", s.Factor(9, 0), s.Factor(10, 0), s.Factor(25, 0))
+	}
+	if (StepDecay{}).Factor(100, 0) != 1 {
+		t.Fatal("zero Every should be constant")
+	}
+	if (ConstantLR{}).Factor(5, 10) != 1 {
+		t.Fatal("constant")
+	}
+}
+
+func TestScheduledAdamConverges(t *testing.T) {
+	target := []float32{2, -1}
+	p := NewParam("w", 1, 2)
+	opt := NewScheduledAdam(0.2, WarmupCosine{WarmupSteps: 5, FloorFactor: 0.05}, 200)
+	for i := 0; i < 200; i++ {
+		for j := range p.W.Data {
+			p.G.Data[j] = p.W.Data[j] - target[j]
+		}
+		opt.Step([]*Param{p})
+	}
+	for j := range target {
+		if math.Abs(float64(p.W.Data[j]-target[j])) > 0.05 {
+			t.Fatalf("did not converge: %v", p.W.Data)
+		}
+	}
+	// LR must have decayed from the base.
+	if opt.Adam.LR >= opt.Base {
+		t.Fatalf("final LR %v should be below base %v", opt.Adam.LR, opt.Base)
+	}
+}

@@ -1,0 +1,219 @@
+// Package relation provides the columnar relation substrate: dictionary-
+// encoded columns, tables, CSV import/export, and synthetic dataset
+// generators whose shapes (column count, NDV profile, skew, correlation)
+// mirror the three datasets of the Duet paper (DMV, Kddcup98, Census).
+//
+// Every column stores its distinct values sorted ascending plus an int32
+// code per row indexing into that dictionary. Because the dictionary is
+// sorted, ordering comparisons on raw values become ordering comparisons on
+// codes, and every range predicate compiles to a closed code interval — the
+// representation all estimators in this repository consume.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Kind is the value type of a column.
+type Kind uint8
+
+// Column value kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Column is a dictionary-encoded column. Exactly one of Ints, Floats, Strs
+// is populated (matching Kind) and holds the sorted distinct values; Codes
+// holds one index into the dictionary per row.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Codes  []int32
+}
+
+// NumDistinct returns the dictionary size (NDV).
+func (c *Column) NumDistinct() int {
+	switch c.Kind {
+	case KindInt:
+		return len(c.Ints)
+	case KindFloat:
+		return len(c.Floats)
+	default:
+		return len(c.Strs)
+	}
+}
+
+// NumRows returns the number of rows.
+func (c *Column) NumRows() int { return len(c.Codes) }
+
+// ValueString renders the distinct value at code as text.
+func (c *Column) ValueString(code int32) string {
+	switch c.Kind {
+	case KindInt:
+		return strconv.FormatInt(c.Ints[code], 10)
+	case KindFloat:
+		return strconv.FormatFloat(c.Floats[code], 'g', -1, 64)
+	default:
+		return c.Strs[code]
+	}
+}
+
+// LowerBoundInt returns the smallest code whose value is >= v, or NDV when
+// all values are smaller. For KindFloat columns v is compared as float64.
+func (c *Column) LowerBoundInt(v int64) int32 {
+	switch c.Kind {
+	case KindInt:
+		return int32(sort.Search(len(c.Ints), func(i int) bool { return c.Ints[i] >= v }))
+	case KindFloat:
+		return c.LowerBoundFloat(float64(v))
+	default:
+		panic("relation: LowerBoundInt on string column")
+	}
+}
+
+// LowerBoundFloat returns the smallest code whose value is >= v.
+func (c *Column) LowerBoundFloat(v float64) int32 {
+	if c.Kind != KindFloat {
+		panic("relation: LowerBoundFloat on non-float column")
+	}
+	return int32(sort.Search(len(c.Floats), func(i int) bool { return c.Floats[i] >= v }))
+}
+
+// LowerBoundString returns the smallest code whose value is >= v.
+func (c *Column) LowerBoundString(v string) int32 {
+	if c.Kind != KindString {
+		panic("relation: LowerBoundString on non-string column")
+	}
+	return int32(sort.Search(len(c.Strs), func(i int) bool { return c.Strs[i] >= v }))
+}
+
+// CodeOfInt returns the code of value v and whether it is present exactly.
+func (c *Column) CodeOfInt(v int64) (int32, bool) {
+	lb := c.LowerBoundInt(v)
+	if c.Kind == KindInt {
+		return lb, int(lb) < len(c.Ints) && c.Ints[lb] == v
+	}
+	return lb, int(lb) < len(c.Floats) && c.Floats[lb] == float64(v)
+}
+
+// NewIntColumn dictionary-encodes raw int64 values.
+func NewIntColumn(name string, values []int64) *Column {
+	distinct := append([]int64(nil), values...)
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	distinct = dedupInt64(distinct)
+	codes := make([]int32, len(values))
+	for i, v := range values {
+		codes[i] = int32(sort.Search(len(distinct), func(k int) bool { return distinct[k] >= v }))
+	}
+	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: codes}
+}
+
+// NewFloatColumn dictionary-encodes raw float64 values.
+func NewFloatColumn(name string, values []float64) *Column {
+	distinct := append([]float64(nil), values...)
+	sort.Float64s(distinct)
+	distinct = dedupFloat64(distinct)
+	codes := make([]int32, len(values))
+	for i, v := range values {
+		codes[i] = int32(sort.SearchFloat64s(distinct, v))
+	}
+	return &Column{Name: name, Kind: KindFloat, Floats: distinct, Codes: codes}
+}
+
+// NewStringColumn dictionary-encodes raw string values, ordered
+// lexicographically.
+func NewStringColumn(name string, values []string) *Column {
+	distinct := append([]string(nil), values...)
+	sort.Strings(distinct)
+	distinct = dedupString(distinct)
+	codes := make([]int32, len(values))
+	for i, v := range values {
+		codes[i] = int32(sort.SearchStrings(distinct, v))
+	}
+	return &Column{Name: name, Kind: KindString, Strs: distinct, Codes: codes}
+}
+
+// NewCodedColumn builds an int column directly from pre-computed codes over
+// the domain 0..ndv-1 (value i is simply the integer i). Generators use this
+// to avoid a redundant encode pass; codes must already lie in [0, ndv).
+func NewCodedColumn(name string, codes []int32, ndv int) *Column {
+	used := make([]bool, ndv)
+	for _, c := range codes {
+		used[c] = true
+	}
+	// Compact the dictionary to the codes actually present so NDV reflects
+	// the realized data (mirrors what dictionary encoding of raw data does).
+	remap := make([]int32, ndv)
+	var distinct []int64
+	for v := 0; v < ndv; v++ {
+		if used[v] {
+			remap[v] = int32(len(distinct))
+			distinct = append(distinct, int64(v))
+		}
+	}
+	out := make([]int32, len(codes))
+	for i, c := range codes {
+		out[i] = remap[c]
+	}
+	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: out}
+}
+
+func dedupInt64(s []int64) []int64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupFloat64(s []float64) []float64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupString(s []string) []string {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

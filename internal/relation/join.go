@@ -1,0 +1,133 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EquiJoin materializes the inner equi-join of left and right on
+// left.leftCol = right.rightCol (matching on raw values, not codes). Column
+// names in the result are prefixed "l_" / "r_", and the join column appears
+// once as "l_<name>".
+//
+// This is the substrate for join cardinality estimation in the style the
+// paper inherits from NeuroCard: train the estimator over the (sampled) join
+// result and answer join queries as single-table queries on it. NeuroCard's
+// full outer join with fanout columns is future work; the inner join covers
+// the common foreign-key case.
+func EquiJoin(name string, left *Table, leftCol string, right *Table, rightCol string) (*Table, error) {
+	li := left.ColumnIndex(leftCol)
+	ri := right.ColumnIndex(rightCol)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("relation: join columns %q/%q not found", leftCol, rightCol)
+	}
+	lc, rc := left.Cols[li], right.Cols[ri]
+	if lc.Kind != rc.Kind {
+		return nil, fmt.Errorf("relation: join column kinds differ: %v vs %v", lc.Kind, rc.Kind)
+	}
+	// Hash the right side by raw value key.
+	rIndex := make(map[string][]int32, rc.NumDistinct())
+	for r := 0; r < right.NumRows(); r++ {
+		rIndex[rc.ValueString(rc.Codes[r])] = append(rIndex[rc.ValueString(rc.Codes[r])], int32(r))
+	}
+	// Probe with the left side, collecting matched row pairs.
+	var lRows, rRows []int32
+	for l := 0; l < left.NumRows(); l++ {
+		for _, r := range rIndex[lc.ValueString(lc.Codes[l])] {
+			lRows = append(lRows, int32(l))
+			rRows = append(rRows, r)
+		}
+	}
+	// Materialize: gather columns from both sides.
+	cols := make([]*Column, 0, left.NumCols()+right.NumCols()-1)
+	for _, c := range left.Cols {
+		cols = append(cols, gatherColumn("l_"+c.Name, c, lRows))
+	}
+	for i, c := range right.Cols {
+		if i == ri {
+			continue // join key already present as l_<leftCol>
+		}
+		cols = append(cols, gatherColumn("r_"+c.Name, c, rRows))
+	}
+	return NewTable(name, cols), nil
+}
+
+// gatherColumn projects src onto the given row indices, rebuilding a compact
+// dictionary over the values that survive the join.
+func gatherColumn(name string, src *Column, rows []int32) *Column {
+	used := make([]bool, src.NumDistinct())
+	for _, r := range rows {
+		used[src.Codes[r]] = true
+	}
+	remap := make([]int32, src.NumDistinct())
+	kept := 0
+	for v := range used {
+		if used[v] {
+			remap[v] = int32(kept)
+			kept++
+		}
+	}
+	out := &Column{Name: name, Kind: src.Kind, Codes: make([]int32, len(rows))}
+	switch src.Kind {
+	case KindInt:
+		out.Ints = make([]int64, 0, kept)
+		for v, u := range used {
+			if u {
+				out.Ints = append(out.Ints, src.Ints[v])
+			}
+		}
+	case KindFloat:
+		out.Floats = make([]float64, 0, kept)
+		for v, u := range used {
+			if u {
+				out.Floats = append(out.Floats, src.Floats[v])
+			}
+		}
+	case KindString:
+		out.Strs = make([]string, 0, kept)
+		for v, u := range used {
+			if u {
+				out.Strs = append(out.Strs, src.Strs[v])
+			}
+		}
+	}
+	for i, r := range rows {
+		out.Codes[i] = remap[src.Codes[r]]
+	}
+	return out
+}
+
+// JoinCardinality returns the exact inner equi-join size without
+// materializing it (a frequency dot-product over the shared value domain),
+// useful for validating join estimates cheaply.
+func JoinCardinality(left *Table, leftCol string, right *Table, rightCol string) (int64, error) {
+	li := left.ColumnIndex(leftCol)
+	ri := right.ColumnIndex(rightCol)
+	if li < 0 || ri < 0 {
+		return 0, fmt.Errorf("relation: join columns %q/%q not found", leftCol, rightCol)
+	}
+	lc, rc := left.Cols[li], right.Cols[ri]
+	lf := map[string]int64{}
+	for _, code := range lc.Codes {
+		lf[lc.ValueString(code)]++
+	}
+	var total int64
+	rf := map[string]int64{}
+	for _, code := range rc.Codes {
+		rf[rc.ValueString(code)]++
+	}
+	// Iterate the smaller map for the dot product.
+	small, big := lf, rf
+	if len(rf) < len(lf) {
+		small, big = rf, lf
+	}
+	keys := make([]string, 0, len(small))
+	for k := range small {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic accumulation order
+	for _, k := range keys {
+		total += small[k] * big[k]
+	}
+	return total, nil
+}

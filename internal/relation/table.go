@@ -1,0 +1,75 @@
+package relation
+
+import "fmt"
+
+// Table is a named collection of equally long columns.
+type Table struct {
+	Name string
+	Cols []*Column
+}
+
+// NewTable validates that all columns have the same length and wraps them.
+func NewTable(name string, cols []*Column) *Table {
+	if len(cols) == 0 {
+		panic("relation: table needs at least one column")
+	}
+	n := cols[0].NumRows()
+	for _, c := range cols[1:] {
+		if c.NumRows() != n {
+			panic(fmt.Sprintf("relation: column %q has %d rows, expected %d", c.Name, c.NumRows(), n))
+		}
+	}
+	return &Table{Name: name, Cols: cols}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.Cols[0].NumRows() }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// RowCodes copies the dictionary codes of row r into dst (len >= NumCols)
+// and returns it, allocating when dst is nil.
+func (t *Table) RowCodes(r int, dst []int32) []int32 {
+	if dst == nil {
+		dst = make([]int32, len(t.Cols))
+	}
+	for i, c := range t.Cols {
+		dst[i] = c.Codes[r]
+	}
+	return dst
+}
+
+// NDVs returns the number of distinct values per column.
+func (t *Table) NDVs() []int {
+	out := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.NumDistinct()
+	}
+	return out
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats summarizes a table for logging.
+func (t *Table) Stats() string {
+	mn, mx := t.Cols[0].NumDistinct(), t.Cols[0].NumDistinct()
+	for _, c := range t.Cols[1:] {
+		d := c.NumDistinct()
+		if d < mn {
+			mn = d
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	return fmt.Sprintf("%s: %d rows, %d cols, NDV %d..%d", t.Name, t.NumRows(), t.NumCols(), mn, mx)
+}

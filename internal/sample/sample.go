@@ -1,0 +1,119 @@
+// Package sample implements the two simplest traditional baselines: a
+// uniform row-sample estimator and an attribute-independence estimator.
+package sample
+
+import (
+	"math/rand"
+
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// Sampler estimates cardinality by scanning a uniform p-fraction row sample.
+type Sampler struct {
+	table *relation.Table
+	codes [][]int32 // materialized sample, column-major
+	n     int       // sample size
+}
+
+// NewSampler materializes a uniform sample of fraction frac (at least one
+// row) drawn with the given seed.
+func NewSampler(t *relation.Table, frac float64, seed int64) *Sampler {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(t.NumRows()) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n > t.NumRows() {
+		n = t.NumRows()
+	}
+	idx := rng.Perm(t.NumRows())[:n]
+	s := &Sampler{table: t, n: n, codes: make([][]int32, t.NumCols())}
+	for c := range s.codes {
+		col := t.Cols[c].Codes
+		s.codes[c] = make([]int32, n)
+		for i, r := range idx {
+			s.codes[c][i] = col[r]
+		}
+	}
+	return s
+}
+
+// Name identifies the estimator.
+func (s *Sampler) Name() string { return "sampling" }
+
+// SizeBytes reports the materialized sample size.
+func (s *Sampler) SizeBytes() int64 { return int64(s.n) * int64(len(s.codes)) * 4 }
+
+// EstimateCard scales the sample match count to the full table.
+func (s *Sampler) EstimateCard(q workload.Query) float64 {
+	ivs := q.ColumnIntervals(s.table)
+	cols := q.Columns()
+	if len(cols) == 0 {
+		return float64(s.table.NumRows())
+	}
+	matches := 0
+rows:
+	for i := 0; i < s.n; i++ {
+		for _, c := range cols {
+			v := s.codes[c][i]
+			if v < ivs[c].Lo || v > ivs[c].Hi {
+				continue rows
+			}
+		}
+		matches++
+	}
+	return float64(matches) / float64(s.n) * float64(s.table.NumRows())
+}
+
+// Indep estimates cardinality under the attribute-value-independence
+// assumption from exact per-column frequency prefix sums.
+type Indep struct {
+	table  *relation.Table
+	prefix [][]float64 // per column: prefix[i] = fraction of rows with code < i
+}
+
+// NewIndep builds exact per-column marginals.
+func NewIndep(t *relation.Table) *Indep {
+	e := &Indep{table: t, prefix: make([][]float64, t.NumCols())}
+	n := float64(t.NumRows())
+	for c, col := range t.Cols {
+		counts := make([]float64, col.NumDistinct())
+		for _, code := range col.Codes {
+			counts[code]++
+		}
+		pre := make([]float64, col.NumDistinct()+1)
+		for i, cnt := range counts {
+			pre[i+1] = pre[i] + cnt/n
+		}
+		e.prefix[c] = pre
+	}
+	return e
+}
+
+// Name identifies the estimator.
+func (e *Indep) Name() string { return "indep" }
+
+// SizeBytes reports the marginal storage.
+func (e *Indep) SizeBytes() int64 {
+	var b int64
+	for _, p := range e.prefix {
+		b += int64(len(p)) * 8
+	}
+	return b
+}
+
+// EstimateCard multiplies exact per-column selectivities.
+func (e *Indep) EstimateCard(q workload.Query) float64 {
+	ivs := q.ColumnIntervals(e.table)
+	sel := 1.0
+	for _, c := range q.Columns() {
+		iv := ivs[c]
+		if iv.Empty() {
+			return 0
+		}
+		pre := e.prefix[c]
+		sel *= pre[iv.Hi+1] - pre[iv.Lo]
+	}
+	return sel * float64(e.table.NumRows())
+}

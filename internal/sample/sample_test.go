@@ -1,0 +1,113 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/exec"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+func testTable(rows int) *relation.Table {
+	return relation.Generate(relation.SynConfig{
+		Name: "t", Rows: rows, Seed: 81,
+		Cols: []relation.ColSpec{
+			{Name: "a", NDV: 15, Skew: 1.4, Parent: -1},
+			{Name: "b", NDV: 6, Skew: 0, Parent: 0, Noise: 0.05},
+			{Name: "c", NDV: 40, Skew: 1.2, Parent: -1},
+		},
+	})
+}
+
+func TestFullSampleIsExact(t *testing.T) {
+	tbl := testTable(400)
+	s := NewSampler(tbl, 1.0, 1)
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 2, NumQueries: 60, MinPreds: 1, MaxPreds: 3, BoundedCol: -1})
+	for _, q := range qs {
+		want := float64(exec.Cardinality(tbl, q))
+		if got := s.EstimateCard(q); math.Abs(got-want) > 1e-9*want+1e-9 {
+			t.Fatalf("100%% sample must be exact: got %v want %v on %v", got, want, q)
+		}
+	}
+}
+
+func TestPartialSampleUnbiasedish(t *testing.T) {
+	tbl := testTable(5000)
+	s := NewSampler(tbl, 0.2, 3)
+	q := workload.Query{Preds: []workload.Predicate{{Col: 0, Op: workload.OpLe, Code: 7}}}
+	act := float64(exec.Cardinality(tbl, q))
+	est := s.EstimateCard(q)
+	if workload.QError(est, act) > 1.5 {
+		t.Fatalf("20%% sample est %v vs act %v", est, act)
+	}
+}
+
+func TestSamplerBounds(t *testing.T) {
+	tbl := testTable(100)
+	s := NewSampler(tbl, 0.0001, 1) // clamps to 1 row
+	if s.n != 1 {
+		t.Fatalf("sample size %d", s.n)
+	}
+	s2 := NewSampler(tbl, 5.0, 1) // clamps to all rows
+	if s2.n != 100 {
+		t.Fatalf("sample size %d", s2.n)
+	}
+	if s.SizeBytes() <= 0 || s.Name() != "sampling" {
+		t.Fatal("metadata")
+	}
+	if s.EstimateCard(workload.Query{}) != 100 {
+		t.Fatal("empty query")
+	}
+}
+
+func TestIndepExactOnSingleColumn(t *testing.T) {
+	tbl := testTable(800)
+	e := NewIndep(tbl)
+	// With one predicate the independence assumption is exact.
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 4, NumQueries: 80, MinPreds: 1, MaxPreds: 1, BoundedCol: -1})
+	for _, q := range qs {
+		want := float64(exec.Cardinality(tbl, q))
+		got := e.EstimateCard(q)
+		if workload.QError(got, want) > 1.0001 {
+			t.Fatalf("single-column indep must be exact: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestIndepUnderestimatesCorrelation(t *testing.T) {
+	// b is a near-deterministic function of a: independence multiplies the
+	// marginals and lands far from the truth.
+	tbl := testTable(5000)
+	e := NewIndep(tbl)
+	var r int
+	for r = 0; r < tbl.NumRows(); r++ {
+		if tbl.Cols[0].Codes[r] == 0 {
+			break
+		}
+	}
+	q := workload.Query{Preds: []workload.Predicate{
+		{Col: 0, Op: workload.OpEq, Code: 0},
+		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes[r]},
+	}}
+	act := float64(exec.Cardinality(tbl, q))
+	est := e.EstimateCard(q)
+	if workload.QError(est, act) < 1.2 {
+		t.Skipf("correlation too weak in this draw: q-error %.3f", workload.QError(est, act))
+	}
+}
+
+func TestIndepContradiction(t *testing.T) {
+	tbl := testTable(100)
+	e := NewIndep(tbl)
+	q := workload.Query{Preds: []workload.Predicate{
+		{Col: 0, Op: workload.OpGt, Code: 10},
+		{Col: 0, Op: workload.OpLt, Code: 2},
+	}}
+	if e.EstimateCard(q) != 0 {
+		t.Fatal("contradiction should estimate 0")
+	}
+	if e.SizeBytes() <= 0 || e.Name() != "indep" {
+		t.Fatal("metadata")
+	}
+}

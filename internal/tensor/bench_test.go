@@ -1,0 +1,55 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMats(n int) (*Matrix, *Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(n, n)
+	b := New(n, n)
+	RandUniform(a, 1, rng)
+	RandUniform(b, 1, rng)
+	return New(n, n), a, b
+}
+
+func BenchmarkMul128(bn *testing.B) {
+	dst, a, b := benchMats(128)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		Mul(dst, a, b)
+	}
+}
+
+func BenchmarkMulBT128(bn *testing.B) {
+	dst, a, b := benchMats(128)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		MulBT(dst, a, b)
+	}
+}
+
+func BenchmarkMulATAdd128(bn *testing.B) {
+	dst, a, b := benchMats(128)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		MulATAdd(dst, a, b)
+	}
+}
+
+func BenchmarkMulVec512(bn *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(512, 512)
+	RandUniform(a, 1, rng)
+	x := make([]float32, 512)
+	dst := make([]float32, 512)
+	bn.ReportAllocs()
+	bn.ResetTimer()
+	for i := 0; i < bn.N; i++ {
+		MulVec(dst, a, x)
+	}
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// matmulGrain is the minimum number of output rows per goroutine chunk.
+const matmulGrain = 8
+
+// Mul computes dst = a·b where a is m×k and b is k×n. dst must be m×n and
+// must not alias a or b. The inner loops run in i-k-j order so the innermost
+// loop streams rows of b, which lets the compiler keep the accumulation in
+// registers and the hardware prefetch effective.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n := b.Cols
+	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dstRow := dst.Data[i*n : (i+1)*n]
+			for x := range dstRow {
+				dstRow[x] = 0
+			}
+			aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				bRow := b.Data[k*n : (k+1)*n]
+				for j, bv := range bRow {
+					dstRow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulBT computes dst = a·bᵀ where a is m×k and b is n×k. dst must be m×n.
+// Both operands are streamed along their rows, so no transpose copy is made.
+func MulBT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulBT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	k := a.Cols
+	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Data[i*k : (i+1)*k]
+			dstRow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				bRow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for x, av := range aRow {
+					s += av * bRow[x]
+				}
+				dstRow[j] = s
+			}
+		}
+	})
+}
+
+// MulATAdd computes dst += aᵀ·b where a is m×k and b is m×n. dst must be k×n.
+// It is the gradient kernel dW += Xᵀ·dY, parallelized over the k output rows
+// so concurrent chunks never write the same cell.
+func MulATAdd(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulATAdd shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	n := b.Cols
+	ParallelFor(a.Cols, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ { // output row i == input column i of a
+			dstRow := dst.Data[i*n : (i+1)*n]
+			for r := 0; r < a.Rows; r++ {
+				av := a.Data[r*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				bRow := b.Data[r*n : (r+1)*n]
+				for j, bv := range bRow {
+					dstRow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulVec computes dst = a·x for a m×k matrix and k-vector x, writing into the
+// m-element dst slice. It is the single-row fast path used at inference time.
+func MulVec(dst []float32, a *Matrix, x []float32) {
+	if a.Cols != len(x) || a.Rows != len(dst) {
+		panic(fmt.Sprintf("tensor: MulVec shape mismatch %dx%d · %d -> %d", a.Rows, a.Cols, len(x), len(dst)))
+	}
+	ParallelFor(a.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			var s float32
+			for j, v := range row {
+				s += v * x[j]
+			}
+			dst[i] = s
+		}
+	})
+}

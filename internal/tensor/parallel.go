@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the number of goroutines used by parallel kernels.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the number of goroutines used by parallel kernels.
+// n < 1 resets to runtime.NumCPU. Intended for benchmarks that want a fixed
+// degree of parallelism.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	maxWorkers = n
+}
+
+// ParallelFor splits [0, n) into contiguous chunks of at least grain items
+// and runs fn(lo, hi) on each chunk, possibly concurrently. fn must be safe
+// to call concurrently on disjoint ranges. It runs inline when the range is
+// small, keeping results deterministic either way (chunks are disjoint).
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := maxWorkers
+	if w := n / grain; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

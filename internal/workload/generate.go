@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"duet/internal/relation"
+)
+
+// GenConfig controls query generation. The protocol follows the paper
+// (Section V-A2), which in turn follows Naru and the "Are We Ready" survey:
+// sample a tuple from the table, pick the number of predicates, pick that
+// many distinct columns, pick an operator per column, and use the sampled
+// tuple's value as the predicate value, guaranteeing non-empty queries over
+// a wide selectivity range.
+type GenConfig struct {
+	Seed       int64
+	NumQueries int
+
+	// Number of predicates per query. With GammaPreds false it is uniform in
+	// [MinPreds, MaxPreds] (the Rand-Q protocol); with GammaPreds true it is
+	// 1 + round(Gamma(shape=2, scale=(MaxPreds-1)/4)) clamped to the same
+	// range, simulating the skew of realistic workloads (the In-Q protocol).
+	MinPreds, MaxPreds int
+	GammaPreds         bool
+
+	// BoundedCol >= 0 restricts that column's predicate values to
+	// BoundedFrac of its distinct values (the paper bounds one large column
+	// to 1% to simulate a workload that covers only part of the domain).
+	BoundedCol  int
+	BoundedFrac float64
+
+	// Ops to draw from; defaults to all five.
+	Ops []Op
+
+	// MultiPredCols > 0 additionally gives up to that many chosen columns a
+	// second predicate forming a two-sided range (the MPSN scenario).
+	MultiPredCols int
+}
+
+// RandQConfig returns the paper's random-query testing workload settings
+// for a table with ncols columns: uniform predicate count, no bounded
+// column, seed 1234.
+func RandQConfig(ncols, numQueries int) GenConfig {
+	return GenConfig{
+		Seed: 1234, NumQueries: numQueries,
+		MinPreds: 1, MaxPreds: maxPredsFor(ncols),
+		BoundedCol: -1,
+	}
+}
+
+// InQConfig returns the paper's in-workload settings: gamma-distributed
+// predicate count, one bounded column, seed 42 (shared with the training
+// workload so the distributions match).
+func InQConfig(ncols, numQueries, boundedCol int) GenConfig {
+	return GenConfig{
+		Seed: 42, NumQueries: numQueries,
+		MinPreds: 1, MaxPreds: maxPredsFor(ncols),
+		GammaPreds: true, BoundedCol: boundedCol, BoundedFrac: 0.01,
+	}
+}
+
+func maxPredsFor(ncols int) int {
+	if ncols > 12 {
+		return 12 // the survey protocol caps predicates on very wide tables
+	}
+	return ncols
+}
+
+// Generate produces queries against t per cfg. The result is deterministic
+// in cfg.Seed.
+func Generate(t *relation.Table, cfg GenConfig) []Query {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := cfg.Ops
+	if len(ops) == 0 {
+		ops = []Op{OpEq, OpGt, OpLt, OpGe, OpLe}
+	}
+	minP, maxP := cfg.MinPreds, cfg.MaxPreds
+	if minP < 1 {
+		minP = 1
+	}
+	if maxP > t.NumCols() {
+		maxP = t.NumCols()
+	}
+	if maxP < minP {
+		maxP = minP
+	}
+	var boundedCodes []int32
+	if cfg.BoundedCol >= 0 && cfg.BoundedCol < t.NumCols() {
+		boundedCodes = sampleBoundedCodes(t.Cols[cfg.BoundedCol], cfg.BoundedFrac, rng)
+	}
+	queries := make([]Query, 0, cfg.NumQueries)
+	rowBuf := make([]int32, t.NumCols())
+	for len(queries) < cfg.NumQueries {
+		row := rng.Intn(t.NumRows())
+		t.RowCodes(row, rowBuf)
+		k := numPreds(rng, minP, maxP, cfg.GammaPreds)
+		cols := rng.Perm(t.NumCols())[:k]
+		q := Query{Preds: make([]Predicate, 0, k)}
+		for _, c := range cols {
+			code := rowBuf[c]
+			if c == cfg.BoundedCol && len(boundedCodes) > 0 {
+				code = boundedCodes[rng.Intn(len(boundedCodes))]
+			}
+			op := ops[rng.Intn(len(ops))]
+			// Strict comparisons against a domain edge select nothing; nudge
+			// the code inward so individual predicates are never trivially
+			// empty (conjunctions may still select zero rows, which is fine).
+			ndv := int32(t.Cols[c].NumDistinct())
+			if op == OpLt && code == 0 && ndv > 1 {
+				code = 1
+			}
+			if op == OpGt && code == ndv-1 && ndv > 1 {
+				code = ndv - 2
+			}
+			q.Preds = append(q.Preds, Predicate{Col: c, Op: op, Code: code})
+		}
+		if cfg.MultiPredCols > 0 {
+			addSecondPredicates(&q, t, cfg.MultiPredCols, rng)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// addSecondPredicates turns up to n of the query's single-sided range
+// predicates into two-sided ranges by adding a complementary bound.
+func addSecondPredicates(q *Query, t *relation.Table, n int, rng *rand.Rand) {
+	added := 0
+	for i := range q.Preds {
+		if added >= n {
+			return
+		}
+		p := q.Preds[i]
+		ndv := int32(t.Cols[p.Col].NumDistinct())
+		var second Predicate
+		switch p.Op {
+		case OpGt, OpGe:
+			hi := p.Code + int32(rng.Intn(int(ndv-p.Code))) // in [code, ndv)
+			second = Predicate{Col: p.Col, Op: OpLe, Code: hi}
+		case OpLt, OpLe:
+			lo := int32(rng.Intn(int(p.Code + 1))) // in [0, code]
+			second = Predicate{Col: p.Col, Op: OpGe, Code: lo}
+		default:
+			continue
+		}
+		q.Preds = append(q.Preds, second)
+		added++
+	}
+}
+
+// numPreds draws the number of predicates for one query.
+func numPreds(rng *rand.Rand, minP, maxP int, gamma bool) int {
+	if !gamma || maxP == minP {
+		return minP + rng.Intn(maxP-minP+1)
+	}
+	scale := float64(maxP-minP) / 4
+	if scale <= 0 {
+		scale = 1
+	}
+	k := minP + int(math.Round(gammaSample(rng, 2, scale)))
+	if k < minP {
+		k = minP
+	}
+	if k > maxP {
+		k = maxP
+	}
+	return k
+}
+
+// gammaSample draws from Gamma(shape, scale) with the Marsaglia-Tsang
+// method (shape >= 1).
+func gammaSample(rng *rand.Rand, shape, scale float64) float64 {
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// sampleBoundedCodes picks frac of the column's codes (at least one).
+func sampleBoundedCodes(c *relation.Column, frac float64, rng *rand.Rand) []int32 {
+	ndv := c.NumDistinct()
+	k := int(float64(ndv) * frac)
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(ndv)[:k]
+	out := make([]int32, k)
+	for i, v := range perm {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// LargestColumn returns the index of the column with the most distinct
+// values, the paper's choice for the bounded column.
+func LargestColumn(t *relation.Table) int {
+	best, bestNDV := 0, -1
+	for i, c := range t.Cols {
+		if d := c.NumDistinct(); d > bestNDV {
+			best, bestNDV = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QError returns max(est,act)/min(est,act) with both sides clamped to >= 1.
+func QError(est, act float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// Stats summarizes a Q-Error sample the way the paper's Table II does.
+type Stats struct {
+	Mean, Median, P75, P99, Max float64
+	N                           int
+}
+
+// Summarize computes mean/median/75th/99th/max of errs.
+func Summarize(errs []float64) Stats {
+	if len(errs) == 0 {
+		return Stats{}
+	}
+	s := append([]float64(nil), errs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Stats{
+		Mean:   sum / float64(len(s)),
+		Median: percentile(s, 0.50),
+		P75:    percentile(s, 0.75),
+		P99:    percentile(s, 0.99),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// percentile returns the p-quantile of sorted values using linear
+// interpolation between closest ranks.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the stats in the paper's column order.
+func (s Stats) String() string {
+	return fmt.Sprintf("mean=%.3f median=%.3f 75th=%.3f 99th=%.3f max=%.3f",
+		s.Mean, s.Median, s.P75, s.P99, s.Max)
+}
+
+// CDF returns the empirical cumulative distribution of values evaluated at
+// the given fractions (e.g. deciles), reproducing Figure 4's workload
+// cardinality CDF data.
+func CDF(values []float64, fractions []float64) []float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	out := make([]float64, len(fractions))
+	for i, f := range fractions {
+		out[i] = percentile(s, f)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"duet/internal/relation"
+)
+
+// predPattern matches one comparison: column op value, where value is a
+// number or a single-quoted string.
+var predPattern = regexp.MustCompile(`^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|=|<|>)\s*('(?:[^']*)'|-?\d+(?:\.\d+)?)\s*$`)
+
+// ParseQuery parses a conjunctive WHERE-style expression ("age>=30 AND
+// state='NY'") against a table, translating raw values to dictionary codes
+// with lower-bound semantics, so the returned query selects exactly the rows
+// the textual predicate describes even for values absent from the column.
+func ParseQuery(t *relation.Table, s string) (Query, error) {
+	var q Query
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return q, nil
+	}
+	for _, part := range splitAnd(s) {
+		p, err := parsePredicate(t, part)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	return q, nil
+}
+
+// splitAnd splits on the AND keyword, case-insensitively, outside quotes.
+func splitAnd(s string) []string {
+	var parts []string
+	depth := false // inside single quotes
+	last := 0
+	upper := strings.ToUpper(s)
+	for i := 0; i+5 <= len(s); i++ {
+		if s[i] == '\'' {
+			depth = !depth
+		}
+		if !depth && upper[i:i+5] == " AND " {
+			parts = append(parts, s[last:i])
+			last = i + 5
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}
+
+func parsePredicate(t *relation.Table, s string) (Predicate, error) {
+	m := predPattern.FindStringSubmatch(s)
+	if m == nil {
+		return Predicate{}, fmt.Errorf("workload: cannot parse predicate %q (want col op value)", strings.TrimSpace(s))
+	}
+	ci := t.ColumnIndex(m[1])
+	if ci < 0 {
+		return Predicate{}, fmt.Errorf("workload: unknown column %q", m[1])
+	}
+	var op Op
+	switch m[2] {
+	case "=":
+		op = OpEq
+	case "<":
+		op = OpLt
+	case ">":
+		op = OpGt
+	case "<=":
+		op = OpLe
+	case ">=":
+		op = OpGe
+	}
+	col := t.Cols[ci]
+	lb, exact, err := lowerBound(col, m[3])
+	if err != nil {
+		return Predicate{}, err
+	}
+	return predicateFromBound(ci, col, op, lb, exact), nil
+}
+
+// lowerBound resolves the raw literal to (first code >= value, exact match).
+func lowerBound(col *relation.Column, lit string) (int32, bool, error) {
+	if strings.HasPrefix(lit, "'") {
+		if col.Kind != relation.KindString {
+			return 0, false, fmt.Errorf("workload: string literal %s on %v column %q", lit, col.Kind, col.Name)
+		}
+		v := strings.Trim(lit, "'")
+		lb := col.LowerBoundString(v)
+		exact := int(lb) < col.NumDistinct() && col.Strs[lb] == v
+		return lb, exact, nil
+	}
+	switch col.Kind {
+	case relation.KindInt:
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			// Integer column queried with a float literal: compare on floats
+			// via the ceiling code.
+			f, ferr := strconv.ParseFloat(lit, 64)
+			if ferr != nil {
+				return 0, false, err
+			}
+			lb := col.LowerBoundInt(int64(f) + boolToInt(f > float64(int64(f))))
+			return lb, false, nil
+		}
+		lb := col.LowerBoundInt(v)
+		exact := int(lb) < col.NumDistinct() && col.Ints[lb] == v
+		return lb, exact, nil
+	case relation.KindFloat:
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return 0, false, err
+		}
+		lb := col.LowerBoundFloat(f)
+		exact := int(lb) < col.NumDistinct() && col.Floats[lb] == f
+		return lb, exact, nil
+	default:
+		return 0, false, fmt.Errorf("workload: unquoted literal %q on string column %q", lit, col.Name)
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// predicateFromBound converts (op, lower-bound code, exact) into a predicate
+// over codes with identical row semantics to the raw-value comparison.
+func predicateFromBound(ci int, col *relation.Column, op Op, lb int32, exact bool) Predicate {
+	ndv := int32(col.NumDistinct())
+	switch op {
+	case OpEq:
+		if !exact {
+			// Always-false equality: empty interval.
+			return Predicate{Col: ci, Op: OpGt, Code: ndv - 1}
+		}
+		return Predicate{Col: ci, Op: OpEq, Code: lb}
+	case OpLt: // value < v  <=>  code < lb
+		return Predicate{Col: ci, Op: OpLt, Code: lb}
+	case OpGe: // value >= v <=>  code >= lb
+		return Predicate{Col: ci, Op: OpGe, Code: lb}
+	case OpLe: // value <= v <=>  code <= lb when exact, code < lb otherwise
+		if exact {
+			return Predicate{Col: ci, Op: OpLe, Code: lb}
+		}
+		return Predicate{Col: ci, Op: OpLt, Code: lb}
+	case OpGt: // value > v  <=>  code > lb when exact, code >= lb otherwise
+		if exact {
+			return Predicate{Col: ci, Op: OpGt, Code: lb}
+		}
+		return Predicate{Col: ci, Op: OpGe, Code: lb}
+	default:
+		panic("workload: unknown op")
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"duet/internal/relation"
+)
+
+func parseTable() *relation.Table {
+	return relation.NewTable("t", []*relation.Column{
+		relation.NewIntColumn("age", []int64{20, 30, 30, 40, 55}),
+		relation.NewFloatColumn("score", []float64{1.5, 2.5, 2.5, 3.0, 9.5}),
+		relation.NewStringColumn("state", []string{"CA", "NY", "NY", "TX", "WA"}),
+	})
+}
+
+// rawMatches evaluates the textual predicate directly against raw values.
+func rawMatches(t *relation.Table, row int, col string, op Op, lit string) bool {
+	ci := t.ColumnIndex(col)
+	c := t.Cols[ci]
+	switch c.Kind {
+	case relation.KindInt:
+		v := c.Ints[c.Codes[row]]
+		x, _ := strconv.ParseInt(lit, 10, 64)
+		return cmpInt(v, x, op)
+	case relation.KindFloat:
+		v := c.Floats[c.Codes[row]]
+		x, _ := strconv.ParseFloat(lit, 64)
+		return cmpFloat(v, x, op)
+	default:
+		v := c.Strs[c.Codes[row]]
+		return cmpString(v, lit, op)
+	}
+}
+
+func cmpInt(a, b int64, op Op) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpLt:
+		return a < b
+	case OpGt:
+		return a > b
+	case OpLe:
+		return a <= b
+	default:
+		return a >= b
+	}
+}
+
+func cmpFloat(a, b float64, op Op) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpLt:
+		return a < b
+	case OpGt:
+		return a > b
+	case OpLe:
+		return a <= b
+	default:
+		return a >= b
+	}
+}
+
+func cmpString(a, b string, op Op) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpLt:
+		return a < b
+	case OpGt:
+		return a > b
+	case OpLe:
+		return a <= b
+	default:
+		return a >= b
+	}
+}
+
+func opText(op Op) string { return op.String() }
+
+// TestParsePredicateSemantics: for every op and literal (present or absent
+// in the column), the parsed predicate must select exactly the rows the raw
+// comparison selects.
+func TestParsePredicateSemantics(t *testing.T) {
+	tbl := parseTable()
+	lits := map[string][]string{
+		"age":   {"19", "20", "25", "30", "55", "60"},
+		"score": {"1.0", "1.5", "2.0", "2.5", "9.5", "10.5"},
+	}
+	for col, vals := range lits {
+		for _, lit := range vals {
+			for _, op := range []Op{OpEq, OpLt, OpGt, OpLe, OpGe} {
+				q, err := ParseQuery(tbl, col+opText(op)+lit)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", col, op, lit, err)
+				}
+				p := q.Preds[0]
+				for row := 0; row < tbl.NumRows(); row++ {
+					got := p.Matches(tbl.Cols[p.Col].Codes[row])
+					want := rawMatches(tbl, row, col, op, lit)
+					if got != want {
+						t.Fatalf("%s %s %s row %d: parsed %v raw %v", col, op, lit, row, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParseStringPredicates(t *testing.T) {
+	tbl := parseTable()
+	for _, tc := range []struct {
+		expr string
+		want int // matching rows
+	}{
+		{"state='NY'", 2},
+		{"state='MT'", 0},  // absent value
+		{"state<'NY'", 1},  // CA
+		{"state>='NY'", 4}, // NY,NY,TX,WA
+		{"state<='OK'", 3}, // CA,NY,NY (OK absent)
+	} {
+		q, err := ParseQuery(tbl, tc.expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		p := q.Preds[0]
+		for row := 0; row < tbl.NumRows(); row++ {
+			if p.Matches(tbl.Cols[p.Col].Codes[row]) {
+				count++
+			}
+		}
+		if count != tc.want {
+			t.Fatalf("%s: %d rows, want %d", tc.expr, count, tc.want)
+		}
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	tbl := parseTable()
+	// AND is case-insensitive.
+	for _, expr := range []string{
+		"age>=30 AND state='NY' AND score<3.0",
+		"age>=30 and state='NY' And score<3.0",
+	} {
+		q, err := ParseQuery(tbl, expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Preds) != 3 {
+			t.Fatalf("%q: got %d predicates", expr, len(q.Preds))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tbl := parseTable()
+	for _, expr := range []string{
+		"bogus=1",  // unknown column
+		"age~5",    // bad operator
+		"state=NY", // unquoted string on string column
+		"age='x'",  // string literal on int column
+		"age >= ",  // missing value
+	} {
+		if _, err := ParseQuery(tbl, expr); err == nil {
+			t.Fatalf("expected error for %q", expr)
+		}
+	}
+	if q, err := ParseQuery(tbl, "  "); err != nil || len(q.Preds) != 0 {
+		t.Fatal("blank input should parse to the empty query")
+	}
+}
+
+func TestParseQuotedAndKeepsQuotes(t *testing.T) {
+	tbl := relation.NewTable("t", []*relation.Column{
+		relation.NewStringColumn("s", []string{"x AND y", "z"}),
+		relation.NewIntColumn("n", []int64{1, 2}),
+	})
+	q, err := ParseQuery(tbl, "s='x AND y' AND n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("quoted AND split incorrectly: %d preds", len(q.Preds))
+	}
+}
+
+func TestParseRoundtripProperty(t *testing.T) {
+	tbl := parseTable()
+	f := func(v int16, opRaw uint8) bool {
+		op := Op(opRaw % NumOps)
+		expr := "age" + opText(op) + strconv.Itoa(int(v))
+		q, err := ParseQuery(tbl, expr)
+		if err != nil {
+			return false
+		}
+		p := q.Preds[0]
+		for row := 0; row < tbl.NumRows(); row++ {
+			if p.Matches(tbl.Cols[0].Codes[row]) != rawMatches(tbl, row, "age", op, strconv.Itoa(int(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
