@@ -1,0 +1,30 @@
+# Mirrors .github/workflows/ci.yml so local and CI invocations stay identical.
+GO ?= go
+
+.PHONY: all build vet fmt test race bench serve
+
+all: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+serve:
+	$(GO) run ./cmd/duetserve -syn census -rows 20000

@@ -1,0 +1,214 @@
+// Command duetserve exposes a trained Duet model as an HTTP cardinality-
+// estimation service backed by the concurrent batched serving engine:
+// concurrent requests are coalesced into micro-batches, answered with one
+// forward pass each, and cached by canonical predicate set.
+//
+// Usage:
+//
+//	duetserve -csv table.csv -model model.duet -addr :8080
+//	duetserve -syn census -rows 20000 -train 3        # quick demo, trains in-process
+//
+// Endpoints:
+//
+//	POST /estimate  {"query": "price<=100 AND qty>3"}          -> {"card": ...}
+//	POST /estimate  {"queries": ["a<=1", "b>2 AND c=3"]}       -> {"cards": [...]}
+//	GET  /healthz                                              -> service health
+//	GET  /stats                                                -> engine counters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"duet"
+	"duet/internal/workload"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV file the model was trained on")
+	syn := flag.String("syn", "", "synthetic dataset: dmv | kdd | census")
+	rows := flag.Int("rows", 20000, "rows for synthetic datasets")
+	seed := flag.Int64("seed", 1, "generation seed")
+	modelPath := flag.String("model", "", "trained model file (from duettrain)")
+	train := flag.Int("train", 3, "when no model file is given, train data-only for this many epochs")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("batch", 64, "micro-batch size")
+	flush := flag.Duration("flush", 100*time.Microsecond, "coalescing flush window")
+	cache := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
+	flag.Parse()
+
+	tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	log.Println("table:", tbl.Stats())
+
+	var m *duet.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = duet.LoadModel(f, tbl)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded %s (%.2f MB)", *modelPath, float64(m.SizeBytes())/1e6)
+	} else {
+		m = duet.New(tbl, duet.DefaultConfig())
+		if *train > 0 {
+			log.Printf("no -model given; training data-only for %d epochs", *train)
+			tc := duet.DefaultTrainConfig()
+			tc.Epochs = *train
+			duet.Train(m, tc)
+		} else {
+			log.Println("no -model given; serving an untrained model")
+		}
+	}
+
+	est := duet.NewEstimator(m, duet.ServeConfig{
+		MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache,
+	})
+	defer est.Close()
+	srv := &server{tbl: tbl, est: est, model: m, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", srv.estimate)
+	mux.HandleFunc("GET /healthz", srv.healthz)
+	mux.HandleFunc("GET /stats", srv.stats)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("serving %s on %s", tbl.Name, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+type server struct {
+	tbl   *duet.Table
+	est   *duet.Estimator
+	model *duet.Model
+	start time.Time
+}
+
+// estimateRequest carries either one query or a batch, as WHERE-style
+// expressions over the served table's columns.
+type estimateRequest struct {
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+type estimateResponse struct {
+	Card      *float64  `json:"card,omitempty"`
+	Cards     []float64 `json:"cards,omitempty"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+}
+
+func (s *server) estimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t0 := time.Now()
+	switch {
+	case req.Query != "" && req.Queries == nil:
+		q, err := workload.ParseQuery(s.tbl, req.Query)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		card, err := s.est.Estimate(r.Context(), q)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, estimateResponse{Card: &card, ElapsedNS: time.Since(t0).Nanoseconds()})
+	case len(req.Queries) > 0 && req.Query == "":
+		qs := make([]workload.Query, len(req.Queries))
+		for i, expr := range req.Queries {
+			q, err := workload.ParseQuery(s.tbl, expr)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("queries[%d]: %w", i, err))
+				return
+			}
+			qs[i] = q
+		}
+		cards, err := s.est.EstimateBatch(r.Context(), qs)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, estimateResponse{Cards: cards, ElapsedNS: time.Since(t0).Nanoseconds()})
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf(`provide exactly one of "query" or "queries"`))
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"table":      s.tbl.Name,
+		"rows":       s.tbl.NumRows(),
+		"columns":    s.tbl.NumCols(),
+		"model_size": s.model.SizeBytes(),
+		"uptime_s":   int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.est.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Println("write response:", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return duet.LoadCSV(f, csvPath, true)
+	}
+	switch syn {
+	case "dmv":
+		return duet.SynDMV(rows, seed), nil
+	case "kdd":
+		return duet.SynKDD(rows, seed), nil
+	case "census":
+		return duet.SynCensus(rows, seed), nil
+	case "":
+		return nil, fmt.Errorf("pass -csv FILE or -syn dmv|kdd|census")
+	default:
+		return nil, fmt.Errorf("unknown synthetic dataset %q", syn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "duetserve:", err)
+	os.Exit(1)
+}

@@ -8,8 +8,9 @@
 //
 // The facade re-exports the pieces a downstream user needs: dictionary-
 // encoded tables (CSV or synthetic), query/workload construction, the exact
-// executor for labelling, the Duet model, and the baselines the paper
-// compares against. Everything is implemented on the standard library.
+// executor for labelling, the Duet model, the baselines the paper compares
+// against, and a concurrent batched serving engine. Everything is
+// implemented on the standard library.
 //
 // Quick start:
 //
@@ -17,6 +18,21 @@
 //	model := duet.New(tbl, duet.DefaultConfig())
 //	duet.Train(model, duet.DefaultTrainConfig())
 //	card := model.EstimateCard(duet.Q(duet.Pred(tbl, "price", duet.OpLe, 100)))
+//
+// Serving: because Duet answers a query with a single deterministic forward
+// pass (no progressive sampling), concurrent requests can be coalesced into
+// micro-batches and answered by one batched inference without changing any
+// individual estimate. NewEstimator wraps a model in that engine — a
+// coalescing dispatcher, a canonical-key LRU result cache, and a packed
+// batch inference plan that skips the network's structural zeros:
+//
+//	est := duet.NewEstimator(model, duet.ServeConfig{})
+//	defer est.Close()
+//	card, err := est.Estimate(ctx, q)            // coalesced with other callers
+//	cards, err := est.EstimateBatch(ctx, queries) // explicit batch
+//
+// cmd/duetserve exposes the same engine over HTTP (POST /estimate,
+// GET /healthz, GET /stats); examples/serving is a runnable walkthrough.
 //
 // See examples/ for runnable programs and internal/bench for the harness
 // that regenerates every table and figure of the paper.
@@ -29,6 +45,7 @@ import (
 	"duet/internal/core"
 	"duet/internal/exec"
 	"duet/internal/relation"
+	"duet/internal/serve"
 	"duet/internal/workload"
 )
 
@@ -172,3 +189,37 @@ func InQConfig(ncols, numQueries, boundedCol int) WorkloadConfig {
 // QError is the standard accuracy metric: max(est,act)/min(est,act), both
 // clamped to >= 1.
 func QError(est, act float64) float64 { return workload.QError(est, act) }
+
+// Serving types, re-exported from internal/serve.
+type (
+	// Estimator is the concurrent batched serving engine: it coalesces
+	// concurrent Estimate calls into micro-batches, answers them with one
+	// batched forward pass each, and fronts the model with a canonical-key
+	// LRU result cache. Safe for concurrent use; Close releases it.
+	Estimator = serve.Estimator
+	// ServeConfig tunes the engine; the zero value selects sensible
+	// defaults (batch 64, 100µs flush window, 4096-entry cache).
+	ServeConfig = serve.Config
+	// ServeStats is a snapshot of the engine's counters.
+	ServeStats = serve.Stats
+)
+
+// ErrEstimatorClosed is returned by Estimate and EstimateBatch after Close.
+var ErrEstimatorClosed = serve.ErrClosed
+
+// NewEstimator wraps a model in the concurrent batched serving engine. The
+// engine owns all model access from this point: do not call the model's own
+// estimation or training methods concurrently with it.
+//
+// The engine's result cache and in-flight deduplication identify queries by
+// predicate set, which is only sound for order-invariant estimators: the
+// direct encoding and the paper's recommended MLP MPSN (a sum over
+// predicates). The order-sensitive RNN/recursive MPSN research ablations
+// cannot sit behind it; NewEstimator panics for those configurations.
+func NewEstimator(m *Model, cfg ServeConfig) *Estimator {
+	switch m.Config().MPSN {
+	case core.MPSNRNN, core.MPSNRec:
+		panic(fmt.Sprintf("duet: NewEstimator requires an order-invariant model; the %v MPSN embeds predicate lists order-sensitively and cannot sit behind the predicate-set-keyed cache", m.Config().MPSN))
+	}
+	return serve.New(m, cfg)
+}

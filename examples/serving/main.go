@@ -1,0 +1,73 @@
+// Example: serving Duet estimates to concurrent callers through the batched
+// inference engine.
+//
+// Duet answers a query with one deterministic forward pass, so concurrent
+// single-query requests can ride a shared micro-batch without changing any
+// individual estimate. duet.NewEstimator wraps a trained model in exactly
+// that: a coalescing dispatcher, a canonical-key LRU result cache, and a
+// packed batch inference plan.
+//
+// Run with: go run ./examples/serving
+//
+// The same engine is exposed over HTTP by cmd/duetserve:
+//
+//	go run ./cmd/duetserve -syn census -rows 20000 &
+//	curl -s localhost:8080/estimate -d '{"query": "age<=40 AND hours>30"}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"duet"
+)
+
+func main() {
+	// A small synthetic table and a briefly trained model keep the example
+	// fast; swap in LoadCSV + duettrain output for real data.
+	tbl := duet.SynCensus(20000, 1)
+	model := duet.New(tbl, duet.DefaultConfig())
+	tc := duet.DefaultTrainConfig()
+	tc.Epochs = 2
+	duet.Train(model, tc)
+
+	est := duet.NewEstimator(model, duet.ServeConfig{})
+	defer est.Close()
+	ctx := context.Background()
+
+	// A fixed query set so the cache has something to hit.
+	queries := duet.GenerateWorkload(tbl, duet.RandQConfig(tbl.NumCols(), 64))
+
+	// 16 concurrent callers issue single-query requests; the dispatcher
+	// coalesces whatever arrives within the flush window into micro-batches.
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(w*50+i)%len(queries)]
+				if _, err := est.Estimate(ctx, q); err != nil {
+					fmt.Println("estimate:", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Explicit batches skip the coalescing queue but share cache + model.
+	cards, err := est.EstimateBatch(ctx, queries[:8])
+	if err != nil {
+		panic(err)
+	}
+	for i, card := range cards {
+		fmt.Printf("%-40s -> %8.1f rows\n", queries[i], card)
+	}
+
+	st := est.Stats()
+	fmt.Printf("\n%d requests: %d cache hits, %d forward passes for %d queries (largest batch %d)\n",
+		st.Requests, st.CacheHits, st.Batches, st.BatchedQueries, st.MaxBatch)
+}

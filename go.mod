@@ -1,0 +1,3 @@
+module duet
+
+go 1.24

@@ -8,7 +8,8 @@ import (
 // EstimateBatch estimates many queries with one batched forward pass per
 // chunk, amortizing the network call across queries (useful for plan
 // enumeration, where the optimizer asks for many candidate cardinalities at
-// once). Results are identical to calling EstimateCard per query.
+// once). It runs on the packed batch inference plan, so results match
+// calling EstimateCard per query up to floating-point summation order.
 func (m *Model) EstimateBatch(qs []workload.Query) []float64 {
 	const chunk = 256
 	out := make([]float64, len(qs))
@@ -17,16 +18,7 @@ func (m *Model) EstimateBatch(qs []workload.Query) []float64 {
 		if end > len(qs) {
 			end = len(qs)
 		}
-		batch := qs[off:end]
-		specs := make([]Spec, len(batch))
-		for i, q := range batch {
-			specs[i] = m.SpecFromQuery(q)
-		}
-		logits := m.Forward(specs)
-		total := float64(m.table.NumRows())
-		for i, q := range batch {
-			out[off+i] = m.maskedProduct(logits.Row(i), q) * total
-		}
+		copy(out[off:end], m.EstimateCardBatch(qs[off:end]))
 	}
 	return out
 }
@@ -72,6 +64,7 @@ func FineTune(m *Model, bad []workload.LabeledQuery, cfg FineTuneConfig) []float
 			nn.ClipGradNorm(m.params, cfg.ClipNorm)
 		}
 		opt.Step(m.params)
+		m.InvalidatePlan()
 		losses = append(losses, loss)
 	}
 	return losses
@@ -79,11 +72,18 @@ func FineTune(m *Model, bad []workload.LabeledQuery, cfg FineTuneConfig) []float
 
 // CollectBadQueries evaluates the model on a labeled workload and returns
 // the queries whose Q-Error exceeds the threshold — the run-time collection
-// loop the paper describes for long-tail mitigation.
+// loop the paper describes for long-tail mitigation. Estimation runs through
+// the batched plan, so scanning a large workload costs one forward pass per
+// chunk rather than one per query.
 func CollectBadQueries(m *Model, ws []workload.LabeledQuery, threshold float64) []workload.LabeledQuery {
+	qs := make([]workload.Query, len(ws))
+	for i, lq := range ws {
+		qs[i] = lq.Query
+	}
+	ests := m.EstimateBatch(qs)
 	var bad []workload.LabeledQuery
-	for _, lq := range ws {
-		if nn.QError(m.EstimateCard(lq.Query), float64(lq.Card)) > threshold {
+	for i, lq := range ws {
+		if nn.QError(ests[i], float64(lq.Card)) > threshold {
 			bad = append(bad, lq)
 		}
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"duet/internal/made"
@@ -81,11 +83,18 @@ type Model struct {
 	params []*nn.Param
 
 	merged *mergedMPSN // optional fused inference path, built by Merge
+	plan   *made.Plan  // packed batch inference plan, built lazily, nil when stale
 
 	// Inference scratch (Estimate is not safe for concurrent use; clone the
-	// model or guard with a mutex for concurrent estimation).
-	xRow  *tensor.Matrix
-	probs []float32
+	// model or guard with a mutex for concurrent estimation — the serve
+	// package funnels concurrent callers through a single dispatcher).
+	xRow       *tensor.Matrix
+	xBatch     *tensor.Matrix // reusable batch encode buffer
+	specBatch  []Spec         // reusable spec slice for EstimateCardBatch
+	neededRows [][]int32      // reusable per-row constrained-block lists
+	neededMask []bool
+	probs      []float32
+	probsPool  sync.Pool // per-worker softmax scratch for batched masking
 
 	lastSpecs []Spec // specs of the last forward batch, for backward routing
 }
@@ -126,8 +135,14 @@ func NewModel(t *relation.Table, cfg Config) *Model {
 		m.params = append(m.params, mp.Params()...)
 	}
 	m.params = append(m.params, m.net.Params()...)
-	m.probs = make([]float32, maxInt(outBlocks))
+	maxOut := maxInt(outBlocks)
+	m.probs = make([]float32, maxOut)
 	m.xRow = tensor.New(1, m.net.In.Tot)
+	m.xBatch = &tensor.Matrix{}
+	m.probsPool.New = func() any {
+		s := make([]float32, maxOut)
+		return &s
+	}
 	return m
 }
 
@@ -161,8 +176,21 @@ func (m *Model) SizeBytes() int64 { return nn.SizeBytes(m.params) }
 // encodeBatch builds the network input for a batch of specs. In MPSN mode
 // the per-column MPSNs run first and their outputs fill the column blocks.
 func (m *Model) encodeBatch(specs []Spec) *tensor.Matrix {
+	return m.encodeBatchInto(specs, nil)
+}
+
+// encodeBatchInto is encodeBatch with an optional reusable destination: a
+// non-nil buf is resized (keeping capacity) and fully overwritten, so the
+// serving hot path encodes micro-batches without allocating. buf == nil
+// allocates fresh storage, which training relies on.
+func (m *Model) encodeBatchInto(specs []Spec, buf *tensor.Matrix) *tensor.Matrix {
 	b := len(specs)
-	x := tensor.New(b, m.net.In.Tot)
+	var x *tensor.Matrix
+	if buf != nil {
+		x = buf.Resize(b, m.net.In.Tot)
+	} else {
+		x = tensor.New(b, m.net.In.Tot)
+	}
 	m.lastSpecs = specs
 	if m.cfg.MPSN == MPSNNone {
 		for r, spec := range specs {
@@ -299,7 +327,7 @@ func (m *Model) EstimateDetail(q workload.Query) (card float64, encodeNS, inferN
 		inferNS = time.Since(t1).Nanoseconds()
 		return sel * float64(m.table.NumRows()), encodeNS, inferNS
 	}
-	x := m.encodeBatch([]Spec{spec})
+	x := m.encodeBatchInto([]Spec{spec}, m.xRow)
 	encodeNS = time.Since(t0).Nanoseconds()
 	t1 := time.Now()
 	logits = m.net.Forward(x)
@@ -308,9 +336,108 @@ func (m *Model) EstimateDetail(q workload.Query) (card float64, encodeNS, inferN
 	return sel * float64(m.table.NumRows()), encodeNS, inferNS
 }
 
+// EstimateCardBatch estimates every query through a packed inference plan
+// (made.Plan): all specs are encoded into a single input matrix, a
+// sparsity-packed forward computes only the logit blocks each query's
+// masked product will read, and the per-row masked products run in
+// parallel. Like the fused path built by Merge, planned results match
+// EstimateCard up to floating-point summation order; they are bitwise
+// deterministic and independent of batch composition (every kernel
+// processes rows independently in a fixed order), so callers may batch
+// opportunistically without changing estimates. Like EstimateCard it is
+// not safe for concurrent use; the serve package serializes access for
+// concurrent callers. The plan and encode buffers are retained on the
+// model, so steady-state batch estimation does not allocate matrices;
+// training invalidates the plan automatically.
+func (m *Model) EstimateCardBatch(qs []workload.Query) []float64 {
+	out := make([]float64, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if m.plan == nil {
+		m.plan = made.NewPlan(m.net)
+	}
+	specs := m.specBatch[:0]
+	for _, q := range qs {
+		specs = append(specs, m.SpecFromQuery(q))
+	}
+	m.specBatch = specs[:0]
+	var x *tensor.Matrix
+	if m.merged != nil && m.cfg.MPSN != MPSNNone {
+		// The fused MPSN encoder is single-row; run it per query into the
+		// shared row scratch and gather rows into the batch matrix, keeping
+		// the exact encode path EstimateCard uses.
+		x = m.xBatch.Resize(len(qs), m.net.In.Tot)
+		for r, spec := range specs {
+			m.merged.encode(m, spec, m.xRow)
+			copy(x.Row(r), m.xRow.Row(0))
+		}
+	} else {
+		x = m.encodeBatchInto(specs, m.xBatch)
+	}
+	// The masked product reads only constrained columns' logit blocks, so
+	// the plan computes exactly those per row.
+	needed := m.neededBlocks(qs)
+	logits := m.plan.Forward(x, needed)
+	rows := float64(m.table.NumRows())
+	tensor.ParallelFor(len(qs), 4, func(lo, hi int) {
+		probs := m.probsPool.Get().(*[]float32)
+		for r := lo; r < hi; r++ {
+			out[r] = m.maskedProductInto(*probs, logits.Row(r), qs[r]) * rows
+		}
+		m.probsPool.Put(probs)
+	})
+	return out
+}
+
+// neededBlocks returns, per query, the ascending list of constrained column
+// indices — the only logit blocks the masked product will read. The backing
+// storage is reused across calls.
+func (m *Model) neededBlocks(qs []workload.Query) [][]int32 {
+	n := m.table.NumCols()
+	if cap(m.neededRows) < len(qs) {
+		next := make([][]int32, len(qs))
+		copy(next, m.neededRows)
+		m.neededRows = next
+	}
+	m.neededRows = m.neededRows[:len(qs)]
+	if cap(m.neededMask) < n {
+		m.neededMask = make([]bool, n)
+	}
+	mask := m.neededMask[:n]
+	for r, q := range qs {
+		row := m.neededRows[r][:0]
+		for i := range mask {
+			mask[i] = false
+		}
+		for _, p := range q.Preds {
+			mask[p.Col] = true
+		}
+		for i, constrained := range mask {
+			if constrained {
+				row = append(row, int32(i))
+			}
+		}
+		m.neededRows[r] = row
+	}
+	return m.neededRows
+}
+
+// InvalidatePlan discards the packed inference plan; the next batched
+// estimate recompiles it from the current weights. Training does this
+// automatically — call it manually only after mutating parameters directly.
+func (m *Model) InvalidatePlan() { m.plan = nil }
+
 // maskedProduct computes Π_i Σ_{v∈I_i} P(C_i = v | ·) over the constrained
 // columns, the core of Algorithm 3.
 func (m *Model) maskedProduct(logitRow []float32, q workload.Query) float64 {
+	return m.maskedProductInto(m.probs, logitRow, q)
+}
+
+// maskedProductInto is maskedProduct with caller-supplied softmax scratch
+// (len ≥ the largest column NDV), so batched masking can run on multiple
+// rows concurrently with per-worker buffers.
+func (m *Model) maskedProductInto(scratch []float32, logitRow []float32, q workload.Query) float64 {
 	ivs := q.ColumnIntervals(m.table)
 	mask := q.ConstrainedMask(m.table.NumCols())
 	sel := 1.0
@@ -323,7 +450,7 @@ func (m *Model) maskedProduct(logitRow []float32, q workload.Query) float64 {
 			return 0
 		}
 		seg := m.net.Out.Slice(logitRow, i)
-		probs := m.probs[:len(seg)]
+		probs := scratch[:len(seg)]
 		nn.Softmax(probs, seg)
 		var f float64
 		for v := iv.Lo; v <= iv.Hi; v++ {
@@ -357,8 +484,14 @@ func (m *Model) Save(w io.Writer) error {
 // Load reads a model saved by Save, rebuilding it against t (whose NDV
 // profile must match the saved one).
 func Load(r io.Reader, t *relation.Table) (*Model, error) {
+	// The stream holds two consecutive gob messages (header, then params)
+	// read by separate decoders. gob wraps a reader that is not an
+	// io.ByteReader in its own bufio and reads ahead, which would misalign
+	// the second decoder on plain files; one shared buffered reader keeps
+	// both decoders on the same position.
+	br := bufio.NewReader(r)
 	var blob modelBlob
-	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+	if err := gob.NewDecoder(br).Decode(&blob); err != nil {
 		return nil, fmt.Errorf("core: load model header: %w", err)
 	}
 	ndvs := t.NDVs()
@@ -371,7 +504,7 @@ func Load(r io.Reader, t *relation.Table) (*Model, error) {
 		}
 	}
 	m := NewModel(t, blob.Cfg)
-	if err := nn.LoadParams(r, m.params); err != nil {
+	if err := nn.LoadParams(br, m.params); err != nil {
 		return nil, err
 	}
 	return m, nil

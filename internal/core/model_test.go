@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"io"
 	"math"
+	"os"
 	"testing"
 
 	"duet/internal/exec"
@@ -288,6 +290,36 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 	}
 	if _, err := Load(&buf2, other); err == nil {
 		t.Fatal("expected NDV mismatch error")
+	}
+}
+
+// TestSaveLoadThroughFile round-trips through a real file. Unlike
+// bytes.Buffer, *os.File is not an io.ByteReader, so gob wraps it in its own
+// buffered reader; this catches stream-misalignment regressions between the
+// header and parameter decoders that a buffer round-trip cannot.
+func TestSaveLoadThroughFile(t *testing.T) {
+	tbl := tinyTable(200)
+	m := NewModel(tbl, tinyConfig())
+	f, err := os.CreateTemp(t.TempDir(), "model-*.duet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(f, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Query{Preds: []workload.Predicate{{Col: 0, Op: workload.OpLe, Code: 1}}}
+	if m.EstimateCard(q) != m2.EstimateCard(q) {
+		t.Fatal("file-loaded model disagrees with saved model")
 	}
 }
 

@@ -143,6 +143,7 @@ func Train(m *Model, cfg TrainConfig) []EpochStats {
 				nn.ClipGradNorm(m.params, cfg.ClipNorm)
 			}
 			opt.Step(m.params)
+			m.InvalidatePlan()
 
 			dataLossSum += dataLoss
 			qLossSum += qLoss

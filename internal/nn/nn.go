@@ -89,13 +89,16 @@ func NumParams(params []*Param) int {
 // SizeBytes returns the in-memory size of the parameter values (float32).
 func SizeBytes(params []*Param) int64 { return int64(NumParams(params)) * 4 }
 
-// outBuf returns a cached output buffer with the requested shape, allocating
-// when the batch size changed since the previous call.
+// outBuf returns a cached output buffer with the requested shape. The buffer
+// keeps its backing storage across batch-size changes (Resize reuses
+// capacity), so a serving loop alternating between micro-batch sizes reaches
+// a zero-allocation steady state once it has seen its largest batch.
 func outBuf(buf **tensor.Matrix, rows, cols int) *tensor.Matrix {
-	if *buf == nil || (*buf).Rows != rows || (*buf).Cols != cols {
+	if *buf == nil {
 		*buf = tensor.New(rows, cols)
+		return *buf
 	}
-	return *buf
+	return (*buf).Resize(rows, cols)
 }
 
 func mustCols(x *tensor.Matrix, want int, layer string) {

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"duet/internal/core"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// benchBatch is the micro-batch size the acceptance criterion is stated at.
+const benchBatch = 64
+
+var benchSetup struct {
+	once sync.Once
+	m    *core.Model
+	qs   []workload.Query
+}
+
+// benchModel lazily builds one shared SynDMV model and workload; benchmarks
+// only read it (model access is serialized inside each benchmark body).
+func benchModel(b *testing.B) (*core.Model, []workload.Query) {
+	b.Helper()
+	benchSetup.once.Do(func() {
+		tbl := relation.SynDMV(5000, 42)
+		benchSetup.m = core.NewModel(tbl, core.DefaultConfig())
+		benchSetup.qs = workload.Generate(tbl, workload.RandQConfig(tbl.NumCols(), 1024))
+	})
+	return benchSetup.m, benchSetup.qs
+}
+
+// reportQPS converts ns/op bookkeeping into the queries/sec figure the
+// batched-vs-sequential comparison is judged on.
+func reportQPS(b *testing.B, queries int) {
+	b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkEstimateSequential is the baseline: one forward pass per query
+// through Model.EstimateCard, the pre-serving code path.
+func BenchmarkEstimateSequential(b *testing.B) {
+	m, qs := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateCard(qs[i%len(qs)])
+	}
+	reportQPS(b, b.N)
+}
+
+// BenchmarkEstimateBatched answers 64 queries per forward pass through
+// Model.EstimateCardBatch; one op is one micro-batch. The acceptance bar is
+// ≥3× the sequential queries/s.
+func BenchmarkEstimateBatched(b *testing.B) {
+	m, qs := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * benchBatch) % (len(qs) - benchBatch)
+		m.EstimateCardBatch(qs[lo : lo+benchBatch])
+	}
+	reportQPS(b, b.N*benchBatch)
+}
+
+// BenchmarkEstimateServed drives the full engine — coalescing queue, dedup,
+// cache — from 32 concurrent callers over a query set large enough that most
+// requests miss the cache.
+func BenchmarkEstimateServed(b *testing.B) {
+	m, qs := benchModel(b)
+	e := New(m, Config{MaxBatch: benchBatch, CacheSize: 256})
+	defer e.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.SetParallelism(32)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := e.Estimate(ctx, qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	reportQPS(b, b.N)
+}
+
+// BenchmarkEstimateCached measures the steady-state cache-hit path: every
+// query after the warm-up round is answered from the LRU without touching
+// the model.
+func BenchmarkEstimateCached(b *testing.B) {
+	m, qs := benchModel(b)
+	e := New(m, Config{MaxBatch: benchBatch, CacheSize: 2048})
+	defer e.Close()
+	ctx := context.Background()
+	hot := qs[:256]
+	if _, err := e.EstimateBatch(ctx, hot); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(ctx, hot[i%len(hot)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportQPS(b, b.N)
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map from canonical query keys to estimated
+// cardinalities. Duet estimation is a pure function of the predicate set, so
+// cached results never go stale while the model is unchanged; capacity bounds
+// memory under adversarial query streams.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	card float64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached cardinality for key and marks it recently used.
+func (c *lruCache) get(key string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).card, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry when
+// over capacity.
+func (c *lruCache) put(key string, card float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).card = card
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, card: card})
+	if c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

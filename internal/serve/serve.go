@@ -1,0 +1,367 @@
+// Package serve is the concurrent batched serving engine for Duet. The
+// paper's headline property — one deterministic forward pass per query, no
+// progressive sampling — makes Duet uniquely batchable among learned
+// estimators: concurrent single-query requests can be coalesced into one
+// micro-batch and answered by a single batched network inference without
+// changing any individual estimate.
+//
+// The engine sits between callers and a batch-native Backend (core.Model's
+// EstimateCardBatch). Concurrent Estimate calls are queued to one dispatcher
+// goroutine that collects up to MaxBatch requests, waiting at most
+// FlushWindow for co-travellers after the first arrival, deduplicates them
+// by canonical predicate-set key, and answers the whole micro-batch with one
+// forward pass. A canonical-key LRU cache in front short-circuits repeated
+// queries entirely. Because the backend retains its forward buffers and the
+// request path reuses pooled scratch, steady-state serving performs no
+// per-request matrix allocations.
+//
+// Estimates are deterministic under coalescing: the batch plan's kernels
+// compute output rows independently with fixed accumulation order, so a
+// query's estimate is bitwise independent of which micro-batch it happened
+// to ride in (batched results match the single-query EstimateCard path up
+// to floating-point summation order, like the model's fused MPSN). The cache
+// and deduplication key identifies the predicate *set* (order-insensitive),
+// which matches the direct encoding and the paper's recommended MLP MPSN
+// (a sum over predicates); the order-sensitive RNN/recursive MPSN variants
+// are research ablations and not intended behind the cache.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"duet/internal/workload"
+)
+
+// Backend answers a batch of queries with one forward pass. core.Model
+// implements it. Backends are assumed NOT safe for concurrent use; the
+// engine serializes every call.
+type Backend interface {
+	EstimateCardBatch(qs []workload.Query) []float64
+}
+
+// ErrClosed is returned by Estimate and EstimateBatch after Close.
+var ErrClosed = errors.New("serve: estimator closed")
+
+// Config tunes the serving engine. The zero value selects sensible defaults.
+type Config struct {
+	// MaxBatch caps the micro-batch size; the dispatcher flushes as soon as
+	// this many requests are pending. Default 64.
+	MaxBatch int
+	// FlushWindow is how long the dispatcher waits for additional requests
+	// after the first one before flushing a partial batch. It trades single-
+	// request latency for batching opportunity. Default 100µs; negative
+	// disables waiting (every flush takes whatever is already queued).
+	FlushWindow time.Duration
+	// CacheSize is the LRU result-cache capacity in entries. Default 4096;
+	// negative disables caching.
+	CacheSize int
+	// QueueDepth is the pending-request channel capacity. Default 4×MaxBatch.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushWindow == 0 {
+		c.FlushWindow = 100 * time.Microsecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Requests       uint64 // queries received (Estimate + EstimateBatch items)
+	CacheHits      uint64 // queries answered from the LRU cache
+	Batches        uint64 // backend forward passes issued
+	BatchedQueries uint64 // queries answered by those passes (after dedup)
+	MaxBatch       uint64 // largest backend batch observed
+	CacheEntries   int    // current cache occupancy
+}
+
+// request is one in-flight single-query estimate.
+type request struct {
+	key string
+	q   workload.Query
+	out chan float64
+}
+
+// Estimator coalesces concurrent cardinality estimates into batched forward
+// passes. Create with New, release with Close. Safe for concurrent use.
+type Estimator struct {
+	cfg     Config
+	backend Backend
+	cache   *lruCache
+
+	backendMu sync.Mutex // serializes backend calls (dispatcher + EstimateBatch)
+
+	reqs    chan request
+	done    chan struct{} // closed by Close: stop accepting work
+	drained chan struct{} // closed when the dispatcher has exited
+	closeMu sync.Once
+
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	batches   atomic.Uint64
+	batched   atomic.Uint64
+	maxSeen   atomic.Uint64
+	reqPool   sync.Pool // recycles result channels across requests
+	dispBatch []request // dispatcher-only scratch
+	dispQs    []workload.Query
+	dispIdx   map[string]int
+}
+
+// New starts a serving engine over backend. The caller owns backend and must
+// not use it concurrently with the estimator; all model access goes through
+// the engine after this point.
+func New(backend Backend, cfg Config) *Estimator {
+	cfg = cfg.withDefaults()
+	e := &Estimator{
+		cfg:     cfg,
+		backend: backend,
+		cache:   newLRUCache(cfg.CacheSize),
+		reqs:    make(chan request, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+		dispIdx: make(map[string]int, cfg.MaxBatch),
+	}
+	e.reqPool.New = func() any { return make(chan float64, 1) }
+	go e.run()
+	return e
+}
+
+// Estimate returns the estimated cardinality of q, answering from the cache
+// when possible and otherwise riding a coalesced micro-batch. It blocks
+// until the estimate is ready, ctx is done, or the estimator is closed.
+func (e *Estimator) Estimate(ctx context.Context, q workload.Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	select {
+	case <-e.done:
+		return 0, ErrClosed
+	default:
+	}
+	e.requests.Add(1)
+	key := q.CanonicalKey()
+	if card, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		return card, nil
+	}
+	out := e.reqPool.Get().(chan float64)
+	r := request{key: key, q: q, out: out}
+	select {
+	case e.reqs <- r:
+	case <-ctx.Done():
+		e.reqPool.Put(out)
+		return 0, ctx.Err()
+	case <-e.done:
+		e.reqPool.Put(out)
+		return 0, ErrClosed
+	}
+	select {
+	case card := <-out:
+		e.reqPool.Put(out)
+		return card, nil
+	case <-ctx.Done():
+		// The dispatcher will still deliver into the buffered channel; the
+		// channel is abandoned to the GC rather than returned to the pool.
+		return 0, ctx.Err()
+	case <-e.drained:
+		// Closed after our enqueue raced the dispatcher's final drain; the
+		// request was never answered.
+		select {
+		case card := <-out:
+			e.reqPool.Put(out)
+			return card, nil
+		default:
+			return 0, ErrClosed
+		}
+	}
+}
+
+// EstimateBatch answers an explicit batch, serving cache hits directly and
+// pushing the distinct misses through the backend in MaxBatch-sized chunks.
+// It bypasses the coalescing queue — the caller has already batched — but
+// shares the backend serialization and the result cache with it.
+func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-e.done:
+		return nil, ErrClosed
+	default:
+	}
+	e.requests.Add(uint64(len(qs)))
+	out := make([]float64, len(qs))
+	keys := make([]string, len(qs))
+	missIdx := make(map[string][]int, len(qs)) // key -> positions awaiting it
+	var misses []workload.Query
+	var missKeys []string
+	for i, q := range qs {
+		keys[i] = q.CanonicalKey()
+		if card, ok := e.cache.get(keys[i]); ok {
+			e.hits.Add(1)
+			out[i] = card
+			continue
+		}
+		if _, dup := missIdx[keys[i]]; !dup {
+			misses = append(misses, q)
+			missKeys = append(missKeys, keys[i])
+		}
+		missIdx[keys[i]] = append(missIdx[keys[i]], i)
+	}
+	for lo := 0; lo < len(misses); lo += e.cfg.MaxBatch {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-e.done:
+			return nil, ErrClosed
+		default:
+		}
+		hi := lo + e.cfg.MaxBatch
+		if hi > len(misses) {
+			hi = len(misses)
+		}
+		chunk := misses[lo:hi]
+		cards := e.forward(chunk)
+		for j := range chunk {
+			key := missKeys[lo+j]
+			e.cache.put(key, cards[j])
+			for _, pos := range missIdx[key] {
+				out[pos] = cards[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Estimator) Stats() Stats {
+	return Stats{
+		Requests:       e.requests.Load(),
+		CacheHits:      e.hits.Load(),
+		Batches:        e.batches.Load(),
+		BatchedQueries: e.batched.Load(),
+		MaxBatch:       e.maxSeen.Load(),
+		CacheEntries:   e.cache.len(),
+	}
+}
+
+// Close stops the dispatcher after it answers everything already queued.
+// Subsequent calls to Estimate and EstimateBatch return ErrClosed. Close is
+// idempotent and returns once the dispatcher has exited.
+func (e *Estimator) Close() error {
+	e.closeMu.Do(func() { close(e.done) })
+	<-e.drained
+	return nil
+}
+
+// run is the dispatcher: collect a micro-batch, flush, repeat.
+func (e *Estimator) run() {
+	defer close(e.drained)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first request
+		select {
+		case first = <-e.reqs:
+		case <-e.done:
+			// Final drain: answer whatever managed to enqueue before done.
+			for {
+				select {
+				case r := <-e.reqs:
+					e.flush([]request{r})
+				default:
+					return
+				}
+			}
+		}
+		batch := append(e.dispBatch[:0], first)
+		if e.cfg.FlushWindow > 0 && e.cfg.MaxBatch > 1 {
+			timer.Reset(e.cfg.FlushWindow)
+			expired := false
+		collect:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case r := <-e.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					expired = true
+					break collect
+				case <-e.done:
+					break collect
+				}
+			}
+			if !expired && !timer.Stop() {
+				<-timer.C
+			}
+		} else {
+			// Opportunistic, non-waiting coalescing.
+		opportunistic:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case r := <-e.reqs:
+					batch = append(batch, r)
+				default:
+					break opportunistic
+				}
+			}
+		}
+		e.flush(batch)
+		e.dispBatch = batch[:0]
+	}
+}
+
+// flush answers one micro-batch: dedupe by canonical key, run one backend
+// forward over the distinct queries, populate the cache, deliver results.
+func (e *Estimator) flush(batch []request) {
+	if len(batch) == 0 {
+		return
+	}
+	qs := e.dispQs[:0]
+	idx := e.dispIdx
+	clear(idx)
+	for _, r := range batch {
+		if _, ok := idx[r.key]; !ok {
+			idx[r.key] = len(qs)
+			qs = append(qs, r.q)
+		}
+	}
+	cards := e.forward(qs)
+	for _, r := range batch {
+		card := cards[idx[r.key]]
+		e.cache.put(r.key, card)
+		r.out <- card
+	}
+	e.dispQs = qs[:0]
+}
+
+// forward runs one serialized backend pass and updates the batch counters.
+func (e *Estimator) forward(qs []workload.Query) []float64 {
+	e.backendMu.Lock()
+	cards := e.backend.EstimateCardBatch(qs)
+	e.backendMu.Unlock()
+	e.batches.Add(1)
+	e.batched.Add(uint64(len(qs)))
+	for {
+		seen := e.maxSeen.Load()
+		if uint64(len(qs)) <= seen || e.maxSeen.CompareAndSwap(seen, uint64(len(qs))) {
+			break
+		}
+	}
+	return cards
+}

@@ -1,0 +1,50 @@
+package tensor
+
+import "sync"
+
+// Resize reshapes m to rows×cols in place, reusing the underlying storage
+// when its capacity suffices and allocating otherwise. The element contents
+// after a resize are unspecified (retained storage is not cleared); callers
+// must fully overwrite the matrix, which every forward kernel in this
+// repository does. Resize is what lets serving reuse one scratch matrix
+// across micro-batches of varying size without per-request allocation.
+func (m *Matrix) Resize(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: Resize to negative dimensions")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Pool recycles scratch matrices across goroutines. It exists for the
+// serving hot path: per-worker buffers (softmax scratch, encode rows) come
+// out of the pool instead of the garbage collector, so steady-state
+// inference performs zero per-request matrix allocations. The zero value is
+// ready to use.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a rows×cols matrix whose contents are unspecified; callers
+// must fully overwrite it. The matrix may reuse storage from a previous Put.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	if m, ok := p.p.Get().(*Matrix); ok {
+		return m.Resize(rows, cols)
+	}
+	return New(rows, cols)
+}
+
+// Put returns a matrix to the pool for reuse. The caller must not touch m
+// afterwards.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	p.p.Put(m)
+}

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+// Saxpy computes y[i] += alpha*x[i] for i < len(x); len(y) must be at least
+// len(x). It is the inner kernel of the packed inference plan. The operation
+// is elementwise — no horizontal reduction — so the vectorized amd64
+// implementation is bitwise identical to this generic one.
+func Saxpy(alpha float32, x, y []float32) {
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

@@ -1,0 +1,17 @@
+//go:build amd64
+
+package tensor
+
+// Saxpy computes y[i] += alpha*x[i] for i < len(x); len(y) must be at least
+// len(x). Implemented in SSE assembly (saxpy_amd64.s): the operation is
+// elementwise — no horizontal reduction — so the vectorized version is
+// bitwise identical to the generic Go loop.
+func Saxpy(alpha float32, x, y []float32) {
+	// The reslice enforces len(y) >= len(x) with a panic, matching the
+	// generic build; the assembly loops off len(x) alone and would
+	// otherwise write past a too-short y.
+	saxpyAsm(alpha, x, y[:len(x)])
+}
+
+//go:noescape
+func saxpyAsm(alpha float32, x, y []float32)

@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// saxpyRef is the scalar reference; the SIMD kernel must match it bitwise
+// (the operation has no horizontal reduction, so lane width cannot change
+// rounding).
+func saxpyRef(alpha float32, x, y []float32) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+func TestSaxpyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 100, 527, 1294} {
+		x := make([]float32, n)
+		y := make([]float32, n+3) // longer dst is allowed
+		want := make([]float32, len(y))
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		for i := range y {
+			y[i] = rng.Float32()*2 - 1
+			want[i] = y[i]
+		}
+		alpha := rng.Float32()*4 - 2
+		saxpyRef(alpha, x, want[:n])
+		Saxpy(alpha, x, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: y[%d] = %v, want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSaxpyZeroAlpha(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	y := make([]float32, 9)
+	Saxpy(0, x, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %v after zero-alpha saxpy", i, v)
+		}
+	}
+}
+
+func BenchmarkSaxpy(b *testing.B) {
+	x := make([]float32, 512)
+	y := make([]float32, 512)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	b.SetBytes(int64(len(x)) * 4)
+	for i := 0; i < b.N; i++ {
+		Saxpy(0.5, x, y)
+	}
+}

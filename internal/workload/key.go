@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// CanonicalKey returns a deterministic identity for the query's predicate
+// set: predicates are sorted by (Col, Op, Code) and exact duplicates are
+// dropped, so two queries that differ only in predicate order (or repeat a
+// predicate) share a key. The serving layer uses it as the result-cache key
+// and for in-flight deduplication — safe because estimation is a pure
+// function of the predicate set.
+//
+// The key is a compact binary string (varint col, op byte, varint code per
+// predicate), not meant to be human-readable; use Query.String for display.
+func (q Query) CanonicalKey() string {
+	if len(q.Preds) == 0 {
+		return ""
+	}
+	ps := make([]Predicate, len(q.Preds))
+	copy(ps, q.Preds)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Col != ps[j].Col {
+			return ps[i].Col < ps[j].Col
+		}
+		if ps[i].Op != ps[j].Op {
+			return ps[i].Op < ps[j].Op
+		}
+		return ps[i].Code < ps[j].Code
+	})
+	buf := make([]byte, 0, 8*len(ps))
+	for i, p := range ps {
+		if i > 0 && p == ps[i-1] {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(p.Col))
+		buf = append(buf, byte(p.Op))
+		buf = binary.AppendUvarint(buf, uint64(uint32(p.Code)))
+	}
+	return string(buf)
+}
