@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local and CI invocations stay identical.
 GO ?= go
 
-.PHONY: all build vet fmt test race bench serve
+.PHONY: all build vet fmt test race bench perf serve
 
 all: build vet fmt test
 
@@ -25,6 +25,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+perf:
+	$(GO) run ./cmd/duetbench -json BENCH_PR2.json -scale tiny
 
 serve:
 	$(GO) run ./cmd/duetserve -syn census -rows 20000

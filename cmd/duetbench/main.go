@@ -4,10 +4,16 @@
 //
 //	duetbench -exp table2 -scale quick
 //	duetbench -exp all -scale tiny -out results.txt
+//	duetbench -json BENCH_PR2.json -scale tiny
 //	duetbench -list
 //
 // Scales: tiny (seconds, CI-sized), quick (minutes, report-grade shapes),
 // full (closest to the paper's sizes).
+//
+// -json runs the perf experiment and writes a machine-readable snapshot
+// (queries/second sequential vs batched vs cached, training throughput, and
+// the Q-Error summary on both paper workloads); CI uploads it as an artifact
+// so the performance trajectory is tracked per commit.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scaleName := flag.String("scale", "quick", "tiny | quick | full")
 	out := flag.String("out", "", "write output to this file as well as stdout")
+	jsonOut := flag.String("json", "", "run the perf experiment and write its machine-readable report to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -45,6 +52,17 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+	if *jsonOut != "" {
+		rep, err := bench.Perf(w, scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+		return
 	}
 	fmt.Fprintf(w, "duetbench: experiment=%s scale=%s\n", *exp, scale.Name)
 	start := time.Now()

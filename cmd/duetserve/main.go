@@ -1,211 +1,193 @@
-// Command duetserve exposes a trained Duet model as an HTTP cardinality-
-// estimation service backed by the concurrent batched serving engine:
-// concurrent requests are coalesced into micro-batches, answered with one
-// forward pass each, and cached by canonical predicate set.
+// Command duetserve exposes trained Duet models as an HTTP cardinality-
+// estimation service backed by the multi-model registry: each model runs the
+// concurrent batched serving engine, a join-aware router sends queries to the
+// right estimator, and file-backed models hot-reload when their weights
+// change on disk — atomically, draining in-flight requests against the old
+// generation before it closes.
 //
-// Usage:
+// Single-model mode (backward compatible with earlier releases):
 //
 //	duetserve -csv table.csv -model model.duet -addr :8080
 //	duetserve -syn census -rows 20000 -train 3        # quick demo, trains in-process
 //
+// Multi-model mode takes a manifest of base tables and join views:
+//
+//	duetserve -manifest deploy.json -modeldir models -watch 2s
+//	duetserve -manifest deploy.json -modeldir models -build-join   # train+save join models, exit
+//
 // Endpoints:
 //
-//	POST /estimate  {"query": "price<=100 AND qty>3"}          -> {"card": ...}
-//	POST /estimate  {"queries": ["a<=1", "b>2 AND c=3"]}       -> {"cards": [...]}
-//	GET  /healthz                                              -> service health
-//	GET  /stats                                                -> engine counters
+//	POST /estimate              {"model": "orders", "query": "amount<=100"}     -> {"card": ...}
+//	POST /estimate              {"query": "o.k = c.k AND o.amount<=100"}        -> routed to the join view
+//	POST /estimate              {"queries": ["a<=1", "b>2 AND c=3"]}            -> {"cards": [...]}
+//	GET  /models                                                               -> registered models + stats
+//	POST /models/{name}/reload                                                 -> admin hot reload
+//	GET  /healthz                                                              -> service health
+//	GET  /stats                                                                -> router + engine counters
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops, open
+// requests finish, and every estimator drains before the process exits.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"duet"
-	"duet/internal/workload"
 )
 
 func main() {
-	csvPath := flag.String("csv", "", "CSV file the model was trained on")
-	syn := flag.String("syn", "", "synthetic dataset: dmv | kdd | census")
+	// Single-model flags (backward compatible).
+	csvPath := flag.String("csv", "", "CSV file the model was trained on (single-model mode)")
+	syn := flag.String("syn", "", "synthetic dataset: dmv | kdd | census (single-model mode)")
 	rows := flag.Int("rows", 20000, "rows for synthetic datasets")
 	seed := flag.Int64("seed", 1, "generation seed")
 	modelPath := flag.String("model", "", "trained model file (from duettrain)")
 	train := flag.Int("train", 3, "when no model file is given, train data-only for this many epochs")
+	// Multi-model flags.
+	manifestPath := flag.String("manifest", "", "multi-model manifest JSON (see package docs)")
+	modelDir := flag.String("modeldir", ".", "model directory for loading, saving, and watching weights")
+	buildJoin := flag.Bool("build-join", false, "with -manifest: materialize join views, train and save their models, then exit")
+	watch := flag.Duration("watch", 0, "hot-reload poll interval for file-backed models (0 disables)")
+	// Engine flags.
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBatch := flag.Int("batch", 64, "micro-batch size")
 	flush := flag.Duration("flush", 100*time.Microsecond, "coalescing flush window")
 	cache := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
 	flag.Parse()
 
-	tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	log.Println("table:", tbl.Stats())
-
-	var m *duet.Model
-	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			fatal(err)
-		}
-		m, err = duet.LoadModel(f, tbl)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		log.Printf("loaded %s (%.2f MB)", *modelPath, float64(m.SizeBytes())/1e6)
-	} else {
-		m = duet.New(tbl, duet.DefaultConfig())
-		if *train > 0 {
-			log.Printf("no -model given; training data-only for %d epochs", *train)
-			tc := duet.DefaultTrainConfig()
-			tc.Epochs = *train
-			duet.Train(m, tc)
-		} else {
-			log.Println("no -model given; serving an untrained model")
-		}
-	}
-
-	est := duet.NewEstimator(m, duet.ServeConfig{
-		MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache,
+	reg := duet.NewRegistry(duet.RegistryConfig{
+		Dir: *modelDir,
+		Serve: duet.ServeConfig{
+			MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache,
+		},
+		WatchInterval: *watch,
+		OnReload: func(name string, err error) {
+			if err != nil {
+				log.Printf("%s: reload failed: %v", name, err)
+			} else {
+				log.Printf("%s: hot-reloaded", name)
+			}
+		},
 	})
-	defer est.Close()
-	srv := &server{tbl: tbl, est: est, model: m, start: time.Now()}
+	defer reg.Close()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /estimate", srv.estimate)
-	mux.HandleFunc("GET /healthz", srv.healthz)
-	mux.HandleFunc("GET /stats", srv.stats)
+	switch {
+	case *manifestPath != "":
+		man, err := loadManifest(*manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := assembleRegistry(reg, man, filepath.Dir(*manifestPath), *modelDir, *buildJoin); err != nil {
+			fatal(err)
+		}
+		if *buildJoin {
+			log.Printf("join views built and saved under %s; exiting (-build-join)", *modelDir)
+			return
+		}
+	case *csvPath != "" || *syn != "":
+		if err := registerSingle(reg, *csvPath, *syn, *rows, *seed, *modelPath, *train); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("pass -manifest FILE, -csv FILE, or -syn dmv|kdd|census"))
+	}
+
+	srv := &server{reg: reg, start: time.Now()}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.newMux(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serving %s on %s", tbl.Name, *addr)
-	if err := httpSrv.ListenAndServe(); err != nil {
-		fatal(err)
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener, lets open
+	// requests finish, then drains and closes every estimator (the deferred
+	// reg.Close), so the drained hot-reload semantics also hold at exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d models on %s: %s", reg.Len(), *addr, strings.Join(reg.Names(), ", "))
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Println("shutdown signal received; draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Println("shutdown:", err)
+		}
+		if err := reg.Close(); err != nil {
+			log.Println("registry close:", err)
+		}
+		log.Println("bye")
 	}
 }
 
-type server struct {
-	tbl   *duet.Table
-	est   *duet.Estimator
-	model *duet.Model
-	start time.Time
-}
-
-// estimateRequest carries either one query or a batch, as WHERE-style
-// expressions over the served table's columns.
-type estimateRequest struct {
-	Query   string   `json:"query,omitempty"`
-	Queries []string `json:"queries,omitempty"`
-}
-
-type estimateResponse struct {
-	Card      *float64  `json:"card,omitempty"`
-	Cards     []float64 `json:"cards,omitempty"`
-	ElapsedNS int64     `json:"elapsed_ns"`
-}
-
-func (s *server) estimate(w http.ResponseWriter, r *http.Request) {
-	var req estimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	t0 := time.Now()
-	switch {
-	case req.Query != "" && req.Queries == nil:
-		q, err := workload.ParseQuery(s.tbl, req.Query)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		card, err := s.est.Estimate(r.Context(), q)
-		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, estimateResponse{Card: &card, ElapsedNS: time.Since(t0).Nanoseconds()})
-	case len(req.Queries) > 0 && req.Query == "":
-		qs := make([]workload.Query, len(req.Queries))
-		for i, expr := range req.Queries {
-			q, err := workload.ParseQuery(s.tbl, expr)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("queries[%d]: %w", i, err))
-				return
-			}
-			qs[i] = q
-		}
-		cards, err := s.est.EstimateBatch(r.Context(), qs)
-		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, estimateResponse{Cards: cards, ElapsedNS: time.Since(t0).Nanoseconds()})
-	default:
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf(`provide exactly one of "query" or "queries"`))
-	}
-}
-
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
-		"status":     "ok",
-		"table":      s.tbl.Name,
-		"rows":       s.tbl.NumRows(),
-		"columns":    s.tbl.NumCols(),
-		"model_size": s.model.SizeBytes(),
-		"uptime_s":   int64(time.Since(s.start).Seconds()),
-	})
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.est.Stats())
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Println("write response:", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {
+// registerSingle is the backward-compatible one-table mode: the sole model
+// answers /estimate requests that name no model.
+func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int64, modelPath string, train int) error {
+	var tbl *duet.Table
+	var name string
 	if csvPath != "" {
 		f, err := os.Open(csvPath)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		defer f.Close()
-		return duet.LoadCSV(f, csvPath, true)
+		name = strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
+		tbl, err = duet.LoadCSV(f, name, true)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if tbl, err = synTable(syn, rows, seed); err != nil {
+			return err
+		}
+		name = syn
 	}
-	switch syn {
-	case "dmv":
-		return duet.SynDMV(rows, seed), nil
-	case "kdd":
-		return duet.SynKDD(rows, seed), nil
-	case "census":
-		return duet.SynCensus(rows, seed), nil
-	case "":
-		return nil, fmt.Errorf("pass -csv FILE or -syn dmv|kdd|census")
-	default:
-		return nil, fmt.Errorf("unknown synthetic dataset %q", syn)
+	log.Printf("%s: %s", name, tbl.Stats())
+	if modelPath != "" {
+		// Explicit weights file: load it and arm hot reload on it.
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		m, err := duet.LoadModel(f, tbl)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("%s: loaded %s (%.2f MB)", name, modelPath, float64(m.SizeBytes())/1e6)
+		return reg.Add(name, tbl, m, duet.AddOpts{Path: modelPath})
 	}
+	m := duet.New(tbl, duet.DefaultConfig())
+	if train > 0 {
+		log.Printf("%s: no -model given; training data-only for %d epochs", name, train)
+		tc := duet.DefaultTrainConfig()
+		tc.Epochs = train
+		duet.Train(m, tc)
+	} else {
+		log.Printf("%s: no -model given; serving an untrained model", name)
+	}
+	return reg.Add(name, tbl, m, duet.AddOpts{})
 }
 
 func fatal(err error) {

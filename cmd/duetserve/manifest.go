@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"duet"
+)
+
+// Manifest describes a multi-model deployment: base-table models plus join
+// views, each optionally backed by a model file under the model directory.
+type Manifest struct {
+	// Models are base-table estimators.
+	Models []ModelSpec `json:"models"`
+	// Joins are join views over two named base tables.
+	Joins []JoinViewSpec `json:"joins"`
+}
+
+// ModelSpec declares one base-table model. The table comes from a CSV file
+// or a built-in synthetic generator. Weights come from the model file when
+// it exists; otherwise the model is trained in-process for TrainEpochs
+// (data-only) and, when a model path is set, saved back for next time.
+type ModelSpec struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv,omitempty"`
+	Syn  string `json:"syn,omitempty"`
+	Rows int    `json:"rows,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Model is the weights file, relative to the model directory (default
+	// <name>.duet). An existing file is loaded and hot-reload-watched.
+	Model string `json:"model,omitempty"`
+	// TrainEpochs trains in-process when no weights file exists. Default 3.
+	TrainEpochs *int `json:"train_epochs,omitempty"`
+	// Large selects the DMV-sized architecture.
+	Large bool `json:"large,omitempty"`
+}
+
+// JoinViewSpec declares one join view: the equi-join Left.LeftCol =
+// Right.RightCol over two tables named in Models, materialized with
+// relation.EquiJoin and served by its own estimator.
+type JoinViewSpec struct {
+	Name     string `json:"name"`
+	Left     string `json:"left"`
+	LeftCol  string `json:"left_col"`
+	Right    string `json:"right"`
+	RightCol string `json:"right_col"`
+	Model    string `json:"model,omitempty"`
+	// TrainEpochs trains the join model in-process when no weights file
+	// exists (or when -build-join rebuilds it). Default 3.
+	TrainEpochs *int `json:"train_epochs,omitempty"`
+	Large       bool `json:"large,omitempty"`
+}
+
+// loadManifest reads and validates a manifest file.
+func loadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if len(m.Models) == 0 {
+		return nil, fmt.Errorf("manifest %s: no models", path)
+	}
+	names := map[string]bool{}
+	for _, ms := range m.Models {
+		if ms.Name == "" {
+			return nil, fmt.Errorf("manifest %s: model with empty name", path)
+		}
+		if names[ms.Name] {
+			return nil, fmt.Errorf("manifest %s: duplicate model %q", path, ms.Name)
+		}
+		names[ms.Name] = true
+	}
+	for _, js := range m.Joins {
+		if js.Name == "" || names[js.Name] {
+			return nil, fmt.Errorf("manifest %s: join view needs a fresh name, got %q", path, js.Name)
+		}
+		names[js.Name] = true
+		if !names[js.Left] || !names[js.Right] {
+			return nil, fmt.Errorf("manifest %s: join %q references unknown tables %q/%q", path, js.Name, js.Left, js.Right)
+		}
+	}
+	return &m, nil
+}
+
+// buildTable materializes the table of one model spec. Relative CSV paths
+// resolve against the manifest's directory.
+func (ms ModelSpec) buildTable(baseDir string) (*duet.Table, error) {
+	switch {
+	case ms.CSV != "":
+		path := ms.CSV
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return duet.LoadCSV(f, ms.Name, true)
+	case ms.Syn != "":
+		rows := ms.Rows
+		if rows <= 0 {
+			rows = 20000
+		}
+		seed := ms.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		t, err := synTable(ms.Syn, rows, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Name = ms.Name
+		return t, nil
+	default:
+		return nil, fmt.Errorf("model %q: one of csv or syn is required", ms.Name)
+	}
+}
+
+func epochsOrDefault(p *int) int {
+	if p != nil {
+		return *p
+	}
+	return 3
+}
+
+func modelConfig(large bool) duet.Config {
+	if large {
+		return duet.DMVConfig()
+	}
+	return duet.DefaultConfig()
+}
+
+// ensureModel returns weights for a table: loaded from path when the file
+// exists, otherwise trained data-only for epochs and saved to path (when
+// persist is set) so later runs and hot reload have a file to watch.
+// It reports whether the returned model is file-backed.
+func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool) (*duet.Model, bool, error) {
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		m, err := duet.LoadModel(f, tbl)
+		if err != nil {
+			return nil, false, fmt.Errorf("load %s: %w", path, err)
+		}
+		log.Printf("%s: loaded %s (%.2f MB)", tbl.Name, path, float64(m.SizeBytes())/1e6)
+		return m, true, nil
+	}
+	m := duet.New(tbl, modelConfig(large))
+	if epochs > 0 {
+		log.Printf("%s: no weights at %s; training data-only for %d epochs", tbl.Name, path, epochs)
+		tc := duet.DefaultTrainConfig()
+		tc.Epochs = epochs
+		tc.Lambda = 0
+		duet.Train(m, tc)
+	} else {
+		log.Printf("%s: serving an untrained model", tbl.Name)
+	}
+	if !persist {
+		return m, false, nil
+	}
+	if err := saveModelFile(m, path); err != nil {
+		return nil, false, err
+	}
+	log.Printf("%s: saved %s", tbl.Name, path)
+	return m, true, nil
+}
+
+func saveModelFile(m *duet.Model, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// assembleRegistry builds every table and model a manifest names and
+// registers them. buildJoins forces retraining and saving of the join-view
+// models (the -build-join offline path) even when weights already exist.
+func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir string, buildJoins bool) error {
+	tables := make(map[string]*duet.Table, len(man.Models))
+	for _, ms := range man.Models {
+		tbl, err := ms.buildTable(manifestDir)
+		if err != nil {
+			return fmt.Errorf("model %q: %w", ms.Name, err)
+		}
+		log.Printf("%s: %s", ms.Name, tbl.Stats())
+		tables[ms.Name] = tbl
+		path := ms.Model
+		if path == "" {
+			path = ms.Name + ".duet"
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(modelDir, path)
+		}
+		m, fileBacked, err := ensureModel(tbl, path, epochsOrDefault(ms.TrainEpochs), ms.Large, true)
+		if err != nil {
+			return fmt.Errorf("model %q: %w", ms.Name, err)
+		}
+		opts := duet.AddOpts{}
+		if fileBacked {
+			opts.Path = path
+		}
+		if err := reg.Add(ms.Name, tbl, m, opts); err != nil {
+			return err
+		}
+	}
+	for _, js := range man.Joins {
+		joined, err := duet.BuildJoinView(js.Name, tables[js.Left], js.LeftCol, tables[js.Right], js.RightCol)
+		if err != nil {
+			return fmt.Errorf("join %q: %w", js.Name, err)
+		}
+		log.Printf("%s: %s", js.Name, joined.Stats())
+		path := js.Model
+		if path == "" {
+			path = js.Name + ".duet"
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(modelDir, path)
+		}
+		if buildJoins {
+			// Offline build: always retrain from the freshly materialized
+			// join and persist, replacing stale weights.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		m, fileBacked, err := ensureModel(joined, path, epochsOrDefault(js.TrainEpochs), js.Large, true)
+		if err != nil {
+			return fmt.Errorf("join %q: %w", js.Name, err)
+		}
+		opts := duet.AddOpts{Join: &duet.JoinSpec{
+			Left: js.Left, LeftCol: js.LeftCol, Right: js.Right, RightCol: js.RightCol,
+		}}
+		if fileBacked {
+			opts.Path = path
+		}
+		if err := reg.Add(js.Name, joined, m, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func synTable(syn string, rows int, seed int64) (*duet.Table, error) {
+	switch syn {
+	case "dmv":
+		return duet.SynDMV(rows, seed), nil
+	case "kdd":
+		return duet.SynKDD(rows, seed), nil
+	case "census":
+		return duet.SynCensus(rows, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown synthetic dataset %q", syn)
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"duet"
+)
+
+// server exposes a model registry over HTTP.
+type server struct {
+	reg   *duet.Registry
+	start time.Time
+}
+
+// newMux routes the service endpoints.
+func (s *server) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.estimate)
+	mux.HandleFunc("GET /models", s.models)
+	mux.HandleFunc("POST /models/{name}/reload", s.reload)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /stats", s.stats)
+	return mux
+}
+
+// estimateRequest carries either one query or a batch, as WHERE-style
+// expressions. Model selects the target estimator by name; it may be left
+// empty when only one model is registered, or when the expression contains
+// a join clause that resolves to a registered join view.
+type estimateRequest struct {
+	Model   string   `json:"model,omitempty"`
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+type estimateResponse struct {
+	Model     string    `json:"model,omitempty"`
+	Models    []string  `json:"models,omitempty"`
+	Card      *float64  `json:"card,omitempty"`
+	Cards     []float64 `json:"cards,omitempty"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+}
+
+func (s *server) estimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t0 := time.Now()
+	switch {
+	case req.Query != "" && req.Queries == nil:
+		name, card, err := s.reg.EstimateExpr(r.Context(), req.Model, req.Query)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, estimateResponse{Model: name, Card: &card, ElapsedNS: time.Since(t0).Nanoseconds()})
+	case len(req.Queries) > 0 && req.Query == "":
+		names, cards, err := s.estimateBatch(r, req)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, estimateResponse{Models: names, Cards: cards, ElapsedNS: time.Since(t0).Nanoseconds()})
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf(`provide exactly one of "query" or "queries"`))
+	}
+}
+
+// estimateBatch routes every expression, groups them by resolved model, and
+// answers each group with one registry batch call, so a mixed batch still
+// rides each backend's coalesced inference.
+func (s *server) estimateBatch(r *http.Request, req estimateRequest) ([]string, []float64, error) {
+	names := make([]string, len(req.Queries))
+	queries := make([]duet.Query, len(req.Queries))
+	groups := map[string][]int{}
+	for i, expr := range req.Queries {
+		name, q, err := s.reg.Route(req.Model, expr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("queries[%d]: %w", i, err)
+		}
+		names[i], queries[i] = name, q
+		groups[name] = append(groups[name], i)
+	}
+	cards := make([]float64, len(req.Queries))
+	for name, idxs := range groups {
+		qs := make([]duet.Query, len(idxs))
+		for j, i := range idxs {
+			qs[j] = queries[i]
+		}
+		got, err := s.reg.EstimateBatch(r.Context(), name, qs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range idxs {
+			cards[i] = got[j]
+		}
+	}
+	return names, cards, nil
+}
+
+func (s *server) models(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"models": s.reg.Info()})
+}
+
+func (s *server) reload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Reload(name); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	log.Printf("%s: reloaded on admin request", name)
+	writeJSON(w, map[string]string{"status": "reloaded", "model": name})
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"models":   s.reg.Names(),
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Stats())
+}
+
+// statusFor maps registry errors to HTTP statuses: closed -> unavailable,
+// unknown model -> not found, anything else (parse/route) -> bad request.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, duet.ErrRegistryClosed) || errors.Is(err, duet.ErrEstimatorClosed):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "unknown model"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Println("write response:", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

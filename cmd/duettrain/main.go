@@ -1,10 +1,18 @@
 // Command duettrain trains a Duet model on a CSV table (or a built-in
-// synthetic dataset) and saves it for use by duetquery.
+// synthetic dataset) and saves it for use by duetquery and duetserve.
 //
 // Usage:
 //
 //	duettrain -csv table.csv -model model.duet
 //	duettrain -syn census -rows 48842 -hybrid -epochs 20 -model census.duet
+//
+// Join-view mode materializes the inner equi-join of two tables and trains
+// the model over the join result (the NeuroCard-style reduction duetserve's
+// registry routes join queries to):
+//
+//	duettrain -join -left-csv orders.csv -left-col cust_id \
+//	          -right-csv customers.csv -right-col id \
+//	          -join-name oc -model oc.duet
 package main
 
 import (
@@ -29,9 +37,24 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "generate a training workload and train hybridly")
 	trainQ := flag.Int("trainq", 2000, "training workload size for -hybrid")
 	large := flag.Bool("large", false, "use the large MADE architecture (DMV-style)")
+	// Join-view mode.
+	join := flag.Bool("join", false, "train over the equi-join of two tables instead of one table")
+	leftCSV := flag.String("left-csv", "", "join mode: left CSV file")
+	leftSyn := flag.String("left-syn", "", "join mode: left synthetic dataset")
+	leftCol := flag.String("left-col", "", "join mode: left join column")
+	rightCSV := flag.String("right-csv", "", "join mode: right CSV file")
+	rightSyn := flag.String("right-syn", "", "join mode: right synthetic dataset")
+	rightCol := flag.String("right-col", "", "join mode: right join column")
+	joinName := flag.String("join-name", "joinview", "join mode: name of the materialized view")
 	flag.Parse()
 
-	tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
+	var tbl *duet.Table
+	var err error
+	if *join {
+		tbl, err = buildJoinTable(*leftCSV, *leftSyn, *leftCol, *rightCSV, *rightSyn, *rightCol, *joinName, *rows, *seed)
+	} else {
+		tbl, err = loadTable(*csvPath, *syn, *rows, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +90,30 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("saved %s (%.2f MB)\n", *modelPath, float64(m.SizeBytes())/1e6)
+}
+
+// buildJoinTable loads both sides and materializes their inner equi-join,
+// the training substrate for a registry join view. Synthetic sides share the
+// -rows/-seed flags; the right side's seed is offset so the two tables are
+// not identical.
+func buildJoinTable(leftCSV, leftSyn, leftCol, rightCSV, rightSyn, rightCol, name string, rows int, seed int64) (*duet.Table, error) {
+	if leftCol == "" || rightCol == "" {
+		return nil, fmt.Errorf("join mode needs -left-col and -right-col")
+	}
+	left, err := loadTable(leftCSV, leftSyn, rows, seed)
+	if err != nil {
+		return nil, fmt.Errorf("left table: %w", err)
+	}
+	right, err := loadTable(rightCSV, rightSyn, rows, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("right table: %w", err)
+	}
+	joined, err := duet.BuildJoinView(name, left, leftCol, right, rightCol)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s ⋈ %s on %s=%s: %d rows\n", left.Name, right.Name, leftCol, rightCol, joined.NumRows())
+	return joined, nil
 }
 
 func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {

@@ -31,8 +31,23 @@
 //	card, err := est.Estimate(ctx, q)            // coalesced with other callers
 //	cards, err := est.EstimateBatch(ctx, queries) // explicit batch
 //
-// cmd/duetserve exposes the same engine over HTTP (POST /estimate,
-// GET /healthz, GET /stats); examples/serving is a runnable walkthrough.
+// Multi-model serving: NewRegistry owns many named estimators — base tables
+// and NeuroCard-style join views — behind one router, with model persistence
+// and drain-safe hot reload (a reload swaps the estimator atomically and the
+// old one answers its in-flight requests before closing):
+//
+//	reg := duet.NewRegistry(duet.RegistryConfig{Dir: "models"})
+//	defer reg.Close()
+//	reg.Add("orders", ordersTbl, ordersModel, duet.AddOpts{})
+//	reg.Add("oc", joinedTbl, joinModel, duet.AddOpts{
+//	    Join: &duet.JoinSpec{Left: "orders", LeftCol: "cust_id", Right: "customers", RightCol: "id"}})
+//	card, err := reg.Estimate(ctx, "orders", q)
+//	name, card, err := reg.EstimateExpr(ctx, "", "orders.cust_id = customers.id AND orders.amount<=10")
+//
+// cmd/duetserve exposes the registry over HTTP (POST /estimate with an
+// optional model name, GET /models, POST /models/{name}/reload, GET /healthz,
+// GET /stats); examples/serving and examples/multimodel are runnable
+// walkthroughs.
 //
 // See examples/ for runnable programs and internal/bench for the harness
 // that regenerates every table and figure of the paper.
@@ -44,6 +59,7 @@ import (
 
 	"duet/internal/core"
 	"duet/internal/exec"
+	"duet/internal/registry"
 	"duet/internal/relation"
 	"duet/internal/serve"
 	"duet/internal/workload"
@@ -223,3 +239,48 @@ func NewEstimator(m *Model, cfg ServeConfig) *Estimator {
 	}
 	return serve.New(m, cfg)
 }
+
+// Multi-model registry types, re-exported from internal/registry.
+type (
+	// Registry is the multi-tenant serving layer: named estimators (base
+	// tables and join views) behind one join-aware router, with model
+	// persistence and drain-safe hot reload. Safe for concurrent use.
+	Registry = registry.Registry
+	// RegistryConfig tunes the registry: model directory, per-model serve
+	// engine settings, and the hot-reload watch interval.
+	RegistryConfig = registry.Config
+	// AddOpts refines Registry.Add (model file path, join-view spec).
+	AddOpts = registry.AddOpts
+	// JoinSpec names the equi-join a registered view was built from.
+	JoinSpec = registry.JoinSpec
+	// ModelInfo is a snapshot of one registered model.
+	ModelInfo = registry.ModelInfo
+	// RegistryStats aggregates router counters and per-model engine stats.
+	RegistryStats = registry.Stats
+)
+
+// ErrRegistryClosed is returned by registry operations after Registry.Close.
+var ErrRegistryClosed = registry.ErrClosed
+
+// NewRegistry creates an empty multi-model registry. Register models with
+// Registry.Add (a nil model loads weights from the model directory), then
+// answer queries with Registry.Estimate / Registry.EstimateExpr; the latter
+// routes join expressions ("a.x = b.y AND ...") to the registered join view.
+func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
+
+// BuildJoinView materializes the inner equi-join of two registered base
+// tables for training a join-view model (NeuroCard-style: answer join
+// queries as single-table queries over the join result).
+func BuildJoinView(name string, left *Table, leftCol string, right *Table, rightCol string) (*Table, error) {
+	return relation.EquiJoin(name, left, leftCol, right, rightCol)
+}
+
+// JoinCardinality computes the exact inner equi-join size without
+// materializing it — the ground-truth oracle for join estimates.
+func JoinCardinality(left *Table, leftCol string, right *Table, rightCol string) (int64, error) {
+	return relation.JoinCardinality(left, leftCol, right, rightCol)
+}
+
+// ParseQuery parses a conjunctive WHERE-style expression against a table,
+// translating raw values to dictionary codes with lower-bound semantics.
+func ParseQuery(t *Table, s string) (Query, error) { return workload.ParseQuery(t, s) }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"duet/internal/core"
+	"duet/internal/serve"
+	"duet/internal/workload"
+)
+
+// PerfReport is the machine-readable performance snapshot one CI run emits
+// (BENCH_PR2.json). It tracks the serving and accuracy trajectory across
+// PRs: queries/second sequential vs batched (the engine's coalescing win),
+// cached throughput, training throughput, and the Q-Error summary on both
+// paper workloads.
+type PerfReport struct {
+	Scale     string `json:"scale"`
+	Dataset   string `json:"dataset"`
+	Rows      int    `json:"rows"`
+	Columns   int    `json:"columns"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+
+	TrainEpochs     int           `json:"train_epochs"`
+	TrainTuplesPerS float64       `json:"train_tuples_per_s"`
+	ModelBytes      int64         `json:"model_bytes"`
+	SeqQPS          float64       `json:"seq_qps"`
+	BatchQPS        float64       `json:"batch_qps"`
+	CachedQPS       float64       `json:"cached_qps"`
+	BatchSize       int           `json:"batch_size"`
+	QErrorRandQ     QErrorSummary `json:"qerror_randq"`
+	QErrorInQ       QErrorSummary `json:"qerror_inq"`
+	ElapsedS        float64       `json:"elapsed_s"`
+}
+
+// QErrorSummary mirrors workload.Stats with JSON field names.
+type QErrorSummary struct {
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+	N      int     `json:"n"`
+}
+
+func summaryOf(s workload.Stats) QErrorSummary {
+	return QErrorSummary{Mean: s.Mean, Median: s.Median, P75: s.P75, P99: s.P99, Max: s.Max, N: s.N}
+}
+
+// Perf builds the census dataset at the given scale, trains a hybrid Duet
+// model, and measures training throughput, serving throughput (sequential,
+// batched, cached), and accuracy. It is experiment id "perf" and feeds the
+// -json flag of cmd/duetbench.
+func Perf(w io.Writer, s Scale) (*PerfReport, error) {
+	header(w, "Perf: serving throughput and accuracy snapshot")
+	start := time.Now()
+	d, err := BuildDataset("census", s)
+	if err != nil {
+		return nil, err
+	}
+	const engineBatch = 64
+	rep := &PerfReport{
+		Scale: s.Name, Dataset: d.Name,
+		Rows: d.Table.NumRows(), Columns: d.Table.NumCols(),
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		TrainEpochs: s.Epochs, BatchSize: engineBatch,
+	}
+
+	var tuplesPerS float64
+	m := TrainDuet(d, s, 0.1, func(_ int, es core.EpochStats) bool {
+		tuplesPerS = es.TuplesPerSec
+		return true
+	})
+	rep.TrainTuplesPerS = tuplesPerS
+	rep.ModelBytes = m.SizeBytes()
+
+	// Accuracy on both paper workloads.
+	evalQ := func(lqs []workload.LabeledQuery) QErrorSummary {
+		errs := make([]float64, len(lqs))
+		for i, lq := range lqs {
+			errs[i] = workload.QError(m.EstimateCard(lq.Query), float64(lq.Card))
+		}
+		return summaryOf(workload.Summarize(errs))
+	}
+	rep.QErrorRandQ = evalQ(d.RandQ)
+	rep.QErrorInQ = evalQ(d.InQ)
+
+	// Sequential throughput: one query per forward pass.
+	queries := make([]workload.Query, len(d.RandQ))
+	for i, lq := range d.RandQ {
+		queries[i] = lq.Query
+	}
+	seqStart := time.Now()
+	for _, q := range queries {
+		m.EstimateCard(q)
+	}
+	rep.SeqQPS = float64(len(queries)) / time.Since(seqStart).Seconds()
+
+	// Batched throughput through the serving engine (cache disabled so
+	// every query runs a forward pass), then cached throughput on repeat.
+	est := serve.New(m, serve.Config{MaxBatch: engineBatch, CacheSize: -1})
+	ctx := context.Background()
+	batchStart := time.Now()
+	if _, err := est.EstimateBatch(ctx, queries); err != nil {
+		est.Close()
+		return nil, err
+	}
+	rep.BatchQPS = float64(len(queries)) / time.Since(batchStart).Seconds()
+	est.Close()
+
+	cached := serve.New(m, serve.Config{MaxBatch: engineBatch, CacheSize: 2 * len(queries)})
+	if _, err := cached.EstimateBatch(ctx, queries); err == nil {
+		cachedStart := time.Now()
+		if _, err := cached.EstimateBatch(ctx, queries); err == nil {
+			rep.CachedQPS = float64(len(queries)) / time.Since(cachedStart).Seconds()
+		}
+	}
+	cached.Close()
+
+	rep.ElapsedS = time.Since(start).Seconds()
+	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",
+		rep.Dataset, rep.Rows, rep.TrainTuplesPerS, float64(rep.ModelBytes)/1e6)
+	fmt.Fprintf(w, "throughput: sequential %.0f q/s, batched %.0f q/s (%.1fx), cached %.0f q/s\n",
+		rep.SeqQPS, rep.BatchQPS, rep.BatchQPS/rep.SeqQPS, rep.CachedQPS)
+	fmt.Fprintf(w, "q-error randq: median=%.3f p99=%.3f max=%.3f (n=%d)\n",
+		rep.QErrorRandQ.Median, rep.QErrorRandQ.P99, rep.QErrorRandQ.Max, rep.QErrorRandQ.N)
+	fmt.Fprintf(w, "q-error inq:   median=%.3f p99=%.3f max=%.3f (n=%d)\n",
+		rep.QErrorInQ.Median, rep.QErrorInQ.P99, rep.QErrorInQ.Max, rep.QErrorInQ.N)
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

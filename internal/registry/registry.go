@@ -1,0 +1,499 @@
+// Package registry is the multi-tenant serving layer: a concurrency-safe
+// collection of named Duet estimators — base tables and join views — each
+// wrapped in the internal/serve batching engine, with model persistence
+// (core.Save/Load against a model directory), atomic hot reload, and a
+// join-aware router that resolves textual queries to the right estimator.
+//
+// Hot reload is drain-safe. Every request pins the estimator handle it was
+// routed to with a reference count taken under the registry's read lock; a
+// reload builds the replacement estimator off-line, swaps the handle under
+// the write lock (so no new request can pin the old one afterwards), then
+// waits for the old handle's pins to drain before closing its engine. A
+// request therefore always completes against the estimator it started on —
+// neither an admin reload nor the file watcher can make an in-flight
+// estimate fail or disappear.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"duet/internal/core"
+	"duet/internal/relation"
+	"duet/internal/serve"
+	"duet/internal/workload"
+)
+
+// ErrClosed is returned by every registry operation after Close.
+var ErrClosed = errors.New("registry: closed")
+
+// Config tunes the registry. The zero value serves from the current
+// directory with default engine settings and no file watcher.
+type Config struct {
+	// Dir is the model directory: Add with a nil model loads <Dir>/<name>.duet,
+	// SaveModel writes there, and the watcher polls files under it. Default ".".
+	Dir string
+	// Serve is the per-model serving-engine configuration; the zero value
+	// selects the engine defaults (batch 64, 100µs window, 4096-entry cache).
+	Serve serve.Config
+	// WatchInterval enables the hot-reload file watcher: every interval, each
+	// file-backed model whose file modification time changed is reloaded.
+	// Zero or negative disables watching.
+	WatchInterval time.Duration
+	// OnReload, when non-nil, observes every completed reload (watcher- or
+	// admin-triggered) with the error it produced. Called from the reloading
+	// goroutine; keep it fast.
+	OnReload func(name string, err error)
+}
+
+// JoinSpec names the equi-join a view was materialized from:
+// Left.LeftCol = Right.RightCol over two base-table names.
+type JoinSpec struct {
+	Left     string `json:"left"`
+	LeftCol  string `json:"left_col"`
+	Right    string `json:"right"`
+	RightCol string `json:"right_col"`
+}
+
+// Clause returns the spec as a parsed join clause.
+func (s JoinSpec) Clause() workload.JoinClause {
+	return workload.JoinClause{LeftTable: s.Left, LeftCol: s.LeftCol, RightTable: s.Right, RightCol: s.RightCol}
+}
+
+func (s JoinSpec) String() string { return s.Clause().String() }
+
+// handle pairs one estimator generation with the count of requests pinned to
+// it. The write-lock swap in reload guarantees no pin is added after the
+// handle leaves the entry, so wg.Wait observes a monotonically draining set.
+type handle struct {
+	model *core.Model
+	est   *serve.Estimator
+	wg    sync.WaitGroup
+}
+
+// entry is one registered model.
+type entry struct {
+	name  string
+	table *relation.Table
+	join  *JoinSpec // non-nil for join views
+
+	// Mutable state, guarded by Registry.mu: the current estimator
+	// generation, the model file ("" for purely in-memory models; SaveModel
+	// arms it), and the file mtime at last load (watcher bookkeeping).
+	h       *handle
+	path    string
+	modTime time.Time
+
+	reloadMu sync.Mutex // serializes reloads of this entry
+	reloads  atomic.Uint64
+}
+
+// ModelInfo is a snapshot of one registered model for listings and stats.
+type ModelInfo struct {
+	Name       string      `json:"name"`
+	Table      string      `json:"table"`
+	Rows       int         `json:"rows"`
+	Columns    int         `json:"columns"`
+	Join       *JoinSpec   `json:"join,omitempty"`
+	Path       string      `json:"path,omitempty"`
+	ModelBytes int64       `json:"model_bytes"`
+	Reloads    uint64      `json:"reloads"`
+	Serve      serve.Stats `json:"serve"`
+}
+
+// Registry owns named estimators. Create with New, release with Close. All
+// methods are safe for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu      sync.RWMutex // guards entries, joins, closed, and handle swaps
+	entries map[string]*entry
+	joins   map[workload.JoinClause]string // canonical clause -> view name
+	closed  bool
+
+	routed     atomic.Uint64 // queries routed by expression
+	joinRouted atomic.Uint64 // of which resolved through a join view
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// New creates an empty registry and starts its file watcher when
+// cfg.WatchInterval is positive.
+func New(cfg Config) *Registry {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	r := &Registry{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		joins:   make(map[workload.JoinClause]string),
+	}
+	if cfg.WatchInterval > 0 {
+		r.watchStop = make(chan struct{})
+		r.watchDone = make(chan struct{})
+		go r.watch(cfg.WatchInterval)
+	}
+	return r
+}
+
+// ModelPath returns the file a named model is (or would be) persisted at.
+func (r *Registry) ModelPath(name string) string {
+	return filepath.Join(r.cfg.Dir, name+".duet")
+}
+
+// AddOpts refines Add.
+type AddOpts struct {
+	// Path overrides the model file location (default <Dir>/<name>.duet).
+	// Only meaningful for file-backed models: when Add receives a nil model
+	// it loads from this file, and Reload/watching re-read it.
+	Path string
+	// Join marks the model as a join view over the given equi-join; the
+	// router resolves matching join queries to it.
+	Join *JoinSpec
+}
+
+// Add registers a model for table t under name. With a non-nil model the
+// weights are taken as-is (in-memory; pass Path to make it reloadable from a
+// later SaveModel). With a nil model the weights are loaded from the model
+// file, which also arms hot reload for it. The estimator engine starts
+// immediately.
+func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOpts) error {
+	if name == "" {
+		return errors.New("registry: empty model name")
+	}
+	path := opts.Path
+	if m == nil && path == "" {
+		path = r.ModelPath(name)
+	}
+	var modTime time.Time
+	if m == nil {
+		var err error
+		if m, modTime, err = loadModelFile(path, t); err != nil {
+			return err
+		}
+	} else if path != "" {
+		// Caller-provided weights with a backing file: record the file's
+		// current mtime so the watcher only fires on a later change.
+		if fi, err := os.Stat(path); err == nil {
+			modTime = fi.ModTime()
+		}
+	}
+	if err := checkServable(m); err != nil {
+		return err
+	}
+	e := &entry{
+		name:    name,
+		table:   t,
+		path:    path,
+		join:    opts.Join,
+		modTime: modTime,
+		h:       &handle{model: m, est: serve.New(m, r.cfg.Serve)},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		e.h.est.Close()
+		return ErrClosed
+	}
+	if _, dup := r.entries[name]; dup {
+		e.h.est.Close()
+		return fmt.Errorf("registry: model %q already registered", name)
+	}
+	if opts.Join != nil {
+		key := opts.Join.Clause().Canonical()
+		if prev, dup := r.joins[key]; dup {
+			e.h.est.Close()
+			return fmt.Errorf("registry: join %s already served by view %q", opts.Join, prev)
+		}
+		r.joins[key] = name
+	}
+	r.entries[name] = e
+	return nil
+}
+
+// checkServable rejects model configurations that cannot sit behind the
+// engine's predicate-set-keyed cache (the order-sensitive MPSN ablations).
+func checkServable(m *core.Model) error {
+	switch m.Config().MPSN {
+	case core.MPSNRNN, core.MPSNRec:
+		return fmt.Errorf("registry: the %v MPSN embeds predicate lists order-sensitively and cannot sit behind the predicate-set-keyed cache", m.Config().MPSN)
+	}
+	return nil
+}
+
+func loadModelFile(path string, t *relation.Table) (*core.Model, time.Time, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, time.Time{}, fmt.Errorf("registry: open model: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	m, err := core.Load(f, t)
+	if err != nil {
+		return nil, time.Time{}, fmt.Errorf("registry: load %s: %w", path, err)
+	}
+	return m, fi.ModTime(), nil
+}
+
+// SaveModel persists a model's current weights to its file (the Path it was
+// registered with, or <Dir>/<name>.duet), creating parent directories as
+// needed, and returns the path written. Saving an in-memory model makes it
+// file-backed: the written file becomes its reload and watch target.
+func (r *Registry) SaveModel(name string) (string, error) {
+	e, h, err := r.acquire(name)
+	if err != nil {
+		return "", err
+	}
+	defer h.wg.Done()
+	path := e.path
+	if path == "" {
+		path = r.ModelPath(name)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := h.model.Save(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	e.path = path
+	e.modTime = fi.ModTime()
+	r.mu.Unlock()
+	return path, nil
+}
+
+// acquire pins the current handle of a named model. The pin is taken under
+// the read lock, so it strictly precedes any subsequent swap; callers must
+// h.wg.Done when finished with the estimator.
+func (r *Registry) acquire(name string) (*entry, *handle, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, nil, ErrClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("registry: unknown model %q", name)
+	}
+	h := e.h
+	h.wg.Add(1)
+	return e, h, nil
+}
+
+// Estimate answers one query with the named model's estimator. The handle is
+// pinned for the duration, so a concurrent reload or Close drains this
+// request before the estimator it is using goes away.
+func (r *Registry) Estimate(ctx context.Context, name string, q workload.Query) (float64, error) {
+	_, h, err := r.acquire(name)
+	if err != nil {
+		return 0, err
+	}
+	defer h.wg.Done()
+	return h.est.Estimate(ctx, q)
+}
+
+// EstimateBatch answers an explicit batch with the named model's estimator.
+func (r *Registry) EstimateBatch(ctx context.Context, name string, qs []workload.Query) ([]float64, error) {
+	_, h, err := r.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer h.wg.Done()
+	return h.est.EstimateBatch(ctx, qs)
+}
+
+// Table returns the table a named model serves.
+func (r *Registry) Table(name string) (*relation.Table, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown model %q", name)
+	}
+	return e.table, nil
+}
+
+// Names lists registered model names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Info snapshots every registered model, sorted by name. It still works
+// after Close (for final logging), reading the last generation's counters.
+func (r *Registry) Info() []ModelInfo {
+	r.mu.RLock()
+	out := make([]ModelInfo, 0, len(r.entries))
+	handles := make([]*handle, 0, len(r.entries))
+	// Pin each generation like a request would, so a concurrent reload
+	// cannot close an estimator mid-snapshot. After Close no pins may be
+	// added (Close's drain is already underway), but none are needed either:
+	// handles are final then, and Stats on a closed engine reads atomics.
+	pinned := !r.closed
+	for _, e := range r.entries {
+		out = append(out, ModelInfo{
+			Name:    e.name,
+			Table:   e.table.Name,
+			Rows:    e.table.NumRows(),
+			Columns: e.table.NumCols(),
+			Join:    e.join,
+			Path:    e.path,
+			Reloads: e.reloads.Load(),
+		})
+		if pinned {
+			e.h.wg.Add(1)
+		}
+		handles = append(handles, e.h)
+	}
+	r.mu.RUnlock()
+	for i := range out {
+		out[i].ModelBytes = handles[i].model.SizeBytes()
+		out[i].Serve = handles[i].est.Stats()
+		if pinned {
+			handles[i].wg.Done()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats aggregates router counters and per-model engine stats.
+type Stats struct {
+	Models     int                    `json:"models"`
+	Routed     uint64                 `json:"routed"`
+	JoinRouted uint64                 `json:"join_routed"`
+	PerModel   map[string]serve.Stats `json:"per_model"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	info := r.Info()
+	s := Stats{Models: len(info), Routed: r.routed.Load(), JoinRouted: r.joinRouted.Load(),
+		PerModel: make(map[string]serve.Stats, len(info))}
+	for _, mi := range info {
+		s.PerModel[mi.Name] = mi.Serve
+	}
+	return s
+}
+
+// Reload atomically replaces a file-backed model with the weights currently
+// in its file. The replacement estimator is built before the swap; requests
+// pinned to the old generation drain before its engine closes, so no
+// in-flight estimate is dropped. In-memory models (no path) cannot reload.
+func (r *Registry) Reload(name string) error {
+	err := r.reload(name)
+	if cb := r.cfg.OnReload; cb != nil {
+		cb(name, err)
+	}
+	return err
+}
+
+func (r *Registry) reload(name string) error {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	var path string
+	if ok {
+		path = e.path
+	}
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("registry: unknown model %q", name)
+	}
+	if path == "" {
+		return fmt.Errorf("registry: model %q is in-memory and cannot be reloaded", name)
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	m, modTime, err := loadModelFile(path, e.table)
+	if err != nil {
+		return err
+	}
+	if err := checkServable(m); err != nil {
+		return err
+	}
+	nh := &handle{model: m, est: serve.New(m, r.cfg.Serve)}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		nh.est.Close()
+		return ErrClosed
+	}
+	old := e.h
+	e.h = nh
+	e.modTime = modTime
+	r.mu.Unlock()
+	e.reloads.Add(1)
+	// Drain: every request that pinned the old generation did so before the
+	// swap above; wait them out, then release the old engine.
+	old.wg.Wait()
+	old.est.Close()
+	return nil
+}
+
+// Close stops the watcher and drains and closes every estimator. Subsequent
+// registry calls return ErrClosed. Close is idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	handles := make([]*handle, 0, len(r.entries))
+	for _, e := range r.entries {
+		handles = append(handles, e.h)
+	}
+	r.mu.Unlock()
+	if r.watchStop != nil {
+		close(r.watchStop)
+		<-r.watchDone
+	}
+	for _, h := range handles {
+		h.wg.Wait()
+		h.est.Close()
+	}
+	return nil
+}

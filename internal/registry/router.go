@@ -1,0 +1,197 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"duet/internal/workload"
+)
+
+// Route resolves a textual conjunctive expression to (model name, resolved
+// query). target selects a model by name; an empty target falls back to the
+// sole registered model, or — for expressions containing a join clause — to
+// the registered join view matching that clause. Join queries must qualify
+// every predicate column with one of the joined base-table names; the router
+// rewrites them onto the view's l_/r_ columns (the paper's NeuroCard-style
+// reduction of join estimation to a single-table query over the join view).
+func (r *Registry) Route(target, expr string) (string, workload.Query, error) {
+	rq, err := workload.ParseRaw(expr)
+	if err != nil {
+		return "", workload.Query{}, err
+	}
+	switch len(rq.Joins) {
+	case 0:
+		return r.routeSingle(target, rq)
+	case 1:
+		return r.routeJoin(target, rq)
+	default:
+		return "", workload.Query{}, fmt.Errorf("registry: %d join predicates in one query; only single equi-joins are supported", len(rq.Joins))
+	}
+}
+
+// EstimateExpr routes an expression and answers it with the resolved model,
+// returning the model name alongside the estimate.
+func (r *Registry) EstimateExpr(ctx context.Context, target, expr string) (string, float64, error) {
+	name, q, err := r.Route(target, expr)
+	if err != nil {
+		return "", 0, err
+	}
+	card, err := r.Estimate(ctx, name, q)
+	return name, card, err
+}
+
+// routeSingle resolves a join-free expression against a named (or the sole)
+// model. Qualified predicate columns must name the model's base table — or,
+// when the target is a join view, one of its joined tables, in which case
+// they are rewritten onto the view's columns.
+func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, workload.Query, error) {
+	name := target
+	if name == "" {
+		name = r.inferTarget(rq)
+	}
+	if name == "" {
+		var err error
+		if name, err = r.soleModel(); err != nil {
+			return "", workload.Query{}, err
+		}
+	}
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return "", workload.Query{}, ErrClosed
+	}
+	if !ok {
+		return "", workload.Query{}, fmt.Errorf("registry: unknown model %q", name)
+	}
+	var q workload.Query
+	for _, rp := range rq.Preds {
+		col := rp.Column
+		switch {
+		case rp.Table == "" || rp.Table == e.table.Name || rp.Table == name:
+			// Unqualified, or qualified with the served table/model name.
+		case e.join != nil:
+			mapped, err := e.join.mapColumn(rp.Table, rp.Column)
+			if err != nil {
+				return "", workload.Query{}, err
+			}
+			col = mapped
+		default:
+			return "", workload.Query{}, fmt.Errorf("registry: predicate on %s.%s does not match model %q (table %q)", rp.Table, rp.Column, name, e.table.Name)
+		}
+		p, err := workload.ResolvePredicate(e.table, col, rp.Op, rp.Lit)
+		if err != nil {
+			return "", workload.Query{}, err
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	r.routed.Add(1)
+	return name, q, nil
+}
+
+// routeJoin resolves an expression with one join clause against the
+// registered join view serving that equi-join.
+func (r *Registry) routeJoin(target string, rq workload.RawQuery) (string, workload.Query, error) {
+	clause := rq.Joins[0]
+	r.mu.RLock()
+	name, ok := r.joins[clause.Canonical()]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return "", workload.Query{}, ErrClosed
+	}
+	if !ok {
+		return "", workload.Query{}, fmt.Errorf("registry: no join view registered for %q; build one with duetserve -build-join or duettrain -join", clause)
+	}
+	if target != "" && target != name {
+		return "", workload.Query{}, fmt.Errorf("registry: model %q does not serve the join %q (view %q does)", target, clause, name)
+	}
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	var q workload.Query
+	for _, rp := range rq.Preds {
+		if rp.Table == "" {
+			return "", workload.Query{}, fmt.Errorf("registry: predicate on %q in a join query must be qualified with %q or %q", rp.Column, e.join.Left, e.join.Right)
+		}
+		col, err := e.join.mapColumn(rp.Table, rp.Column)
+		if err != nil {
+			return "", workload.Query{}, err
+		}
+		p, err := workload.ResolvePredicate(e.table, col, rp.Op, rp.Lit)
+		if err != nil {
+			return "", workload.Query{}, err
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	r.routed.Add(1)
+	r.joinRouted.Add(1)
+	return name, q, nil
+}
+
+// inferTarget resolves an unnamed target from predicate qualifiers: when
+// every qualified predicate names the same registered model, that model is
+// the target ("orders.amount<=10" needs no explicit model field). Returns ""
+// when the qualifiers are absent, mixed, or unknown.
+func (r *Registry) inferTarget(rq workload.RawQuery) string {
+	qualifier := ""
+	for _, rp := range rq.Preds {
+		switch {
+		case rp.Table == "":
+			continue
+		case qualifier == "":
+			qualifier = rp.Table
+		case qualifier != rp.Table:
+			return ""
+		}
+	}
+	if qualifier == "" {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.entries[qualifier]; ok {
+		return qualifier
+	}
+	return ""
+}
+
+// soleModel returns the single registered model name, or an error telling
+// the caller to disambiguate.
+func (r *Registry) soleModel() (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return "", ErrClosed
+	}
+	if len(r.entries) == 1 {
+		for n := range r.entries {
+			return n, nil
+		}
+	}
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	return "", fmt.Errorf("registry: %d models registered (%s); specify one", len(r.entries), strings.Join(names, ", "))
+}
+
+// mapColumn rewrites a base-table-qualified column onto the join view's
+// materialized columns: left columns get the l_ prefix, right columns the
+// r_ prefix, and the right join key — which EquiJoin deduplicates away —
+// maps to the surviving l_<LeftCol>.
+func (s *JoinSpec) mapColumn(table, column string) (string, error) {
+	switch table {
+	case s.Left:
+		return "l_" + column, nil
+	case s.Right:
+		if column == s.RightCol {
+			return "l_" + s.LeftCol, nil
+		}
+		return "r_" + column, nil
+	default:
+		return "", fmt.Errorf("registry: table %q is not part of the join %s", table, s)
+	}
+}

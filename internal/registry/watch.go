@@ -1,0 +1,55 @@
+package registry
+
+import (
+	"os"
+	"time"
+)
+
+// watch is the hot-reload poller: every interval it stats each file-backed
+// model and reloads the ones whose file modification time moved. Polling
+// (rather than inotify) keeps the registry on the standard library and works
+// on every platform and filesystem; the interval bounds staleness, and the
+// reload itself is the same drain-safe swap the admin endpoint uses.
+func (r *Registry) watch(interval time.Duration) {
+	defer close(r.watchDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.watchStop:
+			return
+		case <-ticker.C:
+			for _, name := range r.staleModels() {
+				// Reload re-checks staleness implicitly: it records the mtime
+				// it loaded, so a concurrent admin reload just wins the race.
+				_ = r.Reload(name)
+			}
+		}
+	}
+}
+
+// staleModels lists file-backed models whose on-disk mtime differs from the
+// one loaded. A vanished file is not stale — the last good model keeps
+// serving until the file reappears.
+func (r *Registry) staleModels() []string {
+	type probe struct {
+		name    string
+		path    string
+		modTime time.Time
+	}
+	r.mu.RLock()
+	probes := make([]probe, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.path != "" {
+			probes = append(probes, probe{e.name, e.path, e.modTime})
+		}
+	}
+	r.mu.RUnlock()
+	var stale []string
+	for _, p := range probes {
+		if fi, err := os.Stat(p.path); err == nil && !fi.ModTime().Equal(p.modTime) {
+			stale = append(stale, p.name)
+		}
+	}
+	return stale
+}

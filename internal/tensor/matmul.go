@@ -6,9 +6,10 @@ import "fmt"
 const matmulGrain = 8
 
 // Mul computes dst = a·b where a is m×k and b is k×n. dst must be m×n and
-// must not alias a or b. The inner loops run in i-k-j order so the innermost
-// loop streams rows of b, which lets the compiler keep the accumulation in
-// registers and the hardware prefetch effective.
+// must not alias a or b. The loops run in i-k-j order so the innermost
+// operation is a Saxpy over one row of b — vectorized (SSE on amd64) and,
+// being elementwise with a fixed k-ascending accumulation order, bitwise
+// identical to the scalar i-k-j loop it replaced.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %dx%d · %dx%d -> %dx%d",
@@ -24,44 +25,61 @@ func Mul(dst, a, b *Matrix) {
 			aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
 			for k, av := range aRow {
 				if av == 0 {
-					continue
+					continue // masked weights make a genuinely sparse
 				}
-				bRow := b.Data[k*n : (k+1)*n]
-				for j, bv := range bRow {
-					dstRow[j] += av * bv
-				}
+				Saxpy(av, b.Data[k*n:(k+1)*n], dstRow)
 			}
 		}
 	})
 }
 
+// transposePool recycles the bᵀ scratch of MulBT across calls.
+var transposePool Pool
+
 // MulBT computes dst = a·bᵀ where a is m×k and b is n×k. dst must be m×n.
-// Both operands are streamed along their rows, so no transpose copy is made.
+// Rather than the dot-product inner loop (a horizontal reduction Saxpy
+// cannot express), b is transposed once into pooled scratch and the i-k-j
+// Saxpy kernel runs over it. Each output element still accumulates its k
+// terms in ascending order, so results are bitwise identical to the
+// reduction form; the O(nk) transpose is amortized over the O(mnk) multiply.
 func MulBT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MulBT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	k := a.Cols
-	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			aRow := a.Data[i*k : (i+1)*k]
-			dstRow := dst.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
-				bRow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for x, av := range aRow {
-					s += av * bRow[x]
-				}
-				dstRow[j] = s
+	n := b.Rows
+	bt := transposePool.Get(k, n)
+	ParallelFor(n, matmulGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			bRow := b.Data[j*k : (j+1)*k]
+			for x, bv := range bRow {
+				bt.Data[x*n+j] = bv
 			}
 		}
 	})
+	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dstRow := dst.Data[i*n : (i+1)*n]
+			for x := range dstRow {
+				dstRow[x] = 0
+			}
+			aRow := a.Data[i*k : (i+1)*k]
+			for x, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				Saxpy(av, bt.Data[x*n:(x+1)*n], dstRow)
+			}
+		}
+	})
+	transposePool.Put(bt)
 }
 
 // MulATAdd computes dst += aᵀ·b where a is m×k and b is m×n. dst must be k×n.
 // It is the gradient kernel dW += Xᵀ·dY, parallelized over the k output rows
-// so concurrent chunks never write the same cell.
+// so concurrent chunks never write the same cell; the inner loop is a Saxpy
+// over one row of b, bitwise identical to the scalar accumulation.
 func MulATAdd(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MulATAdd shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
@@ -76,10 +94,7 @@ func MulATAdd(dst, a, b *Matrix) {
 				if av == 0 {
 					continue
 				}
-				bRow := b.Data[r*n : (r+1)*n]
-				for j, bv := range bRow {
-					dstRow[j] += av * bv
-				}
+				Saxpy(av, b.Data[r*n:(r+1)*n], dstRow)
 			}
 		}
 	})

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference GEMMs: the pre-Saxpy inner loops, kept verbatim so the
+// vectorized kernels can be checked for bitwise equality (same k-ascending
+// accumulation order per output element) and benchmarked against.
+
+func mulScalar(dst, a, b *Matrix) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		dstRow := dst.Data[i*n : (i+1)*n]
+		for x := range dstRow {
+			dstRow[x] = 0
+		}
+		aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*n : (k+1)*n]
+			for j, bv := range bRow {
+				dstRow[j] += av * bv
+			}
+		}
+	}
+}
+
+func mulBTScalar(dst, a, b *Matrix) {
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*k : (i+1)*k]
+		dstRow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			bRow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for x, av := range aRow {
+				s += av * bRow[x]
+			}
+			dstRow[j] = s
+		}
+	}
+}
+
+func mulATAddScalar(dst, a, b *Matrix) {
+	n := b.Cols
+	for i := 0; i < a.Cols; i++ {
+		dstRow := dst.Data[i*n : (i+1)*n]
+		for r := 0; r < a.Rows; r++ {
+			av := a.Data[r*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[r*n : (r+1)*n]
+			for j, bv := range bRow {
+				dstRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// randMats builds one m×k and one k×n (or n×k) operand pair with a sprinkle
+// of exact zeros, matching the masked-weight sparsity the kernels skip.
+func randMats(m, k, n int, transposedB bool, seed int64) (*Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	a := New(m, k)
+	RandUniform(a, 1, rng)
+	var b *Matrix
+	if transposedB {
+		b = New(n, k)
+	} else {
+		b = New(k, n)
+	}
+	RandUniform(b, 1, rng)
+	for i := range a.Data {
+		if rng.Intn(5) == 0 {
+			a.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	return a, b
+}
+
+func bitsEqual(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs: %v (%#x) vs scalar %v (%#x)", name, i,
+				got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestGEMMsBitwiseMatchScalar: the Saxpy-based kernels must reproduce the
+// scalar reference bit for bit across ragged shapes (vector tails included).
+func TestGEMMsBitwiseMatchScalar(t *testing.T) {
+	// Parallel chunking is irrelevant to the comparison: rows are computed
+	// independently, so the worker split cannot change any output bit.
+	for _, sh := range []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 7}, {8, 16, 4}, {17, 33, 9}, {64, 128, 31}, {128, 64, 128},
+	} {
+		a, b := randMats(sh.m, sh.k, sh.n, false, int64(sh.m*1000+sh.n))
+		got, want := New(sh.m, sh.n), New(sh.m, sh.n)
+		Mul(got, a, b)
+		mulScalar(want, a, b)
+		bitsEqual(t, "Mul", got, want)
+
+		abt, bbt := randMats(sh.m, sh.k, sh.n, true, int64(sh.m*2000+sh.n))
+		got, want = New(sh.m, sh.n), New(sh.m, sh.n)
+		MulBT(got, abt, bbt)
+		mulBTScalar(want, abt, bbt)
+		bitsEqual(t, "MulBT", got, want)
+
+		ga, _ := randMats(sh.m, sh.k, sh.n, false, int64(sh.m*3000+sh.n))
+		_, gb := randMats(sh.n, sh.m, sh.n, false, int64(sh.m*4000+sh.n)) // m×n gradient
+		got, want = New(sh.k, sh.n), New(sh.k, sh.n)
+		RandUniform(got, 1, rand.New(rand.NewSource(9)))
+		copy(want.Data, got.Data) // accumulate onto identical contents
+		MulATAdd(got, ga, gb)
+		mulATAddScalar(want, ga, gb)
+		bitsEqual(t, "MulATAdd", got, want)
+	}
+}
+
+// Training-GEMM speedup benchmarks: the paper-default ResMADE-128 forward/
+// backward shapes (batch 256). Compare the *Scalar pairs to see the Saxpy
+// adoption win; CI runs them with -benchtime=1x as a smoke test.
+
+func benchShapes() (x, w, dy, dst, dw *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	x = New(256, 128)  // batch × in (forward activations)
+	w = New(128, 128)  // in × out (layer weights)
+	dy = New(256, 128) // batch × out (backward gradient)
+	RandUniform(x, 1, rng)
+	RandUniform(w, 1, rng)
+	RandUniform(dy, 1, rng)
+	return x, w, dy, New(256, 128), New(128, 128)
+}
+
+func BenchmarkTrainGEMMMul(bn *testing.B) {
+	x, w, _, dst, _ := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		Mul(dst, x, w)
+	}
+}
+
+func BenchmarkTrainGEMMMulScalar(bn *testing.B) {
+	x, w, _, dst, _ := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		mulScalar(dst, x, w)
+	}
+}
+
+func BenchmarkTrainGEMMMulBT(bn *testing.B) {
+	_, w, dy, dst, _ := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		MulBT(dst, dy, w)
+	}
+}
+
+func BenchmarkTrainGEMMMulBTScalar(bn *testing.B) {
+	_, w, dy, dst, _ := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		mulBTScalar(dst, dy, w)
+	}
+}
+
+func BenchmarkTrainGEMMMulATAdd(bn *testing.B) {
+	x, _, dy, _, dw := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		MulATAdd(dw, x, dy)
+	}
+}
+
+func BenchmarkTrainGEMMMulATAddScalar(bn *testing.B) {
+	x, _, dy, _, dw := benchShapes()
+	bn.ReportAllocs()
+	for i := 0; i < bn.N; i++ {
+		mulATAddScalar(dw, x, dy)
+	}
+}

@@ -9,28 +9,143 @@ import (
 	"duet/internal/relation"
 )
 
-// predPattern matches one comparison: column op value, where value is a
-// number or a single-quoted string.
-var predPattern = regexp.MustCompile(`^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|=|<|>)\s*('(?:[^']*)'|-?\d+(?:\.\d+)?)\s*$`)
+// predPattern matches one comparison: [qualifier.]column op value, where
+// value is a number, a single-quoted string, or a qualified column reference
+// (the join-clause form "a.x = b.y").
+var predPattern = regexp.MustCompile(`^\s*(?:([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*)?([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|=|<|>)\s*('(?:[^']*)'|-?\d+(?:\.\d+)?|[A-Za-z_][A-Za-z0-9_]*\s*\.\s*[A-Za-z_][A-Za-z0-9_]*)\s*$`)
+
+// joinRHSPattern recognizes a qualified column reference on the right-hand
+// side of a comparison, which turns the comparison into a join clause.
+var joinRHSPattern = regexp.MustCompile(`^([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*([A-Za-z_][A-Za-z0-9_]*)$`)
+
+// RawPredicate is one textual comparison before resolution against a table:
+// an optionally qualified column, an operator, and the literal as written
+// (quotes retained for strings).
+type RawPredicate struct {
+	Table  string // qualifier, "" when unqualified
+	Column string
+	Op     Op
+	Lit    string
+}
+
+// JoinClause is one equi-join condition between two qualified columns
+// ("a.x = b.y"). Both sides must be qualified; the clause is symmetric.
+type JoinClause struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+}
+
+// Canonical returns the clause with its sides in lexicographic order, so
+// "a.x = b.y" and "b.y = a.x" compare equal; the registry keys join views by
+// it to make routing orientation-insensitive.
+func (j JoinClause) Canonical() JoinClause {
+	if j.LeftTable > j.RightTable || (j.LeftTable == j.RightTable && j.LeftCol > j.RightCol) {
+		return JoinClause{j.RightTable, j.RightCol, j.LeftTable, j.LeftCol}
+	}
+	return j
+}
+
+func (j JoinClause) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LeftTable, j.LeftCol, j.RightTable, j.RightCol)
+}
+
+// RawQuery is the structural parse of a conjunctive expression: zero or more
+// join clauses plus the remaining comparison predicates, none resolved
+// against a table yet. The serving router resolves it against either a
+// single table or a registered join view.
+type RawQuery struct {
+	Joins []JoinClause
+	Preds []RawPredicate
+}
+
+// ParseRaw splits a conjunctive WHERE-style expression into join clauses and
+// unresolved predicates. It validates shape only — column existence and
+// literal/kind agreement are checked at resolution time. Duplicate join
+// clauses (in either orientation) are rejected.
+func ParseRaw(s string) (RawQuery, error) {
+	var rq RawQuery
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return rq, nil
+	}
+	for _, part := range splitAnd(s) {
+		m := predPattern.FindStringSubmatch(part)
+		if m == nil {
+			return RawQuery{}, fmt.Errorf("workload: cannot parse predicate %q (want [tbl.]col op value)", strings.TrimSpace(part))
+		}
+		op, err := parseOp(m[3])
+		if err != nil {
+			return RawQuery{}, err
+		}
+		if rhs := joinRHSPattern.FindStringSubmatch(m[4]); rhs != nil {
+			if m[1] == "" {
+				return RawQuery{}, fmt.Errorf("workload: join predicate %q needs a qualified left side (want a.x = b.y)", strings.TrimSpace(part))
+			}
+			if op != OpEq {
+				return RawQuery{}, fmt.Errorf("workload: join predicate %q: only equality joins are supported", strings.TrimSpace(part))
+			}
+			j := JoinClause{LeftTable: m[1], LeftCol: m[2], RightTable: rhs[1], RightCol: rhs[2]}
+			if j.LeftTable == j.RightTable {
+				return RawQuery{}, fmt.Errorf("workload: join predicate %q relates a table to itself", strings.TrimSpace(part))
+			}
+			for _, seen := range rq.Joins {
+				if seen.Canonical() == j.Canonical() {
+					return RawQuery{}, fmt.Errorf("workload: duplicate join predicate %q", j)
+				}
+			}
+			rq.Joins = append(rq.Joins, j)
+			continue
+		}
+		rq.Preds = append(rq.Preds, RawPredicate{Table: m[1], Column: m[2], Op: op, Lit: m[4]})
+	}
+	return rq, nil
+}
 
 // ParseQuery parses a conjunctive WHERE-style expression ("age>=30 AND
 // state='NY'") against a table, translating raw values to dictionary codes
 // with lower-bound semantics, so the returned query selects exactly the rows
 // the textual predicate describes even for values absent from the column.
+// Predicates may qualify columns with the table's name ("orders.price<=10");
+// any other qualifier is an error, and join clauses ("a.x = b.y") are
+// rejected here — they only make sense against a registered join view, which
+// the registry router resolves.
 func ParseQuery(t *relation.Table, s string) (Query, error) {
-	var q Query
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return q, nil
+	rq, err := ParseRaw(s)
+	if err != nil {
+		return Query{}, err
 	}
-	for _, part := range splitAnd(s) {
-		p, err := parsePredicate(t, part)
+	if len(rq.Joins) > 0 {
+		return Query{}, fmt.Errorf("workload: join predicate %q cannot be answered by single table %q; route it to a registered join view", rq.Joins[0], t.Name)
+	}
+	var q Query
+	for _, rp := range rq.Preds {
+		if rp.Table != "" && rp.Table != t.Name {
+			return Query{}, fmt.Errorf("workload: predicate on %s.%s does not match table %q", rp.Table, rp.Column, t.Name)
+		}
+		p, err := ResolvePredicate(t, rp.Column, rp.Op, rp.Lit)
 		if err != nil {
 			return Query{}, err
 		}
 		q.Preds = append(q.Preds, p)
 	}
 	return q, nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "=":
+		return OpEq, nil
+	case "<":
+		return OpLt, nil
+	case ">":
+		return OpGt, nil
+	case "<=":
+		return OpLe, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown operator %q", s)
+	}
 }
 
 // splitAnd splits on the AND keyword, case-insensitively, outside quotes.
@@ -52,30 +167,17 @@ func splitAnd(s string) []string {
 	return parts
 }
 
-func parsePredicate(t *relation.Table, s string) (Predicate, error) {
-	m := predPattern.FindStringSubmatch(s)
-	if m == nil {
-		return Predicate{}, fmt.Errorf("workload: cannot parse predicate %q (want col op value)", strings.TrimSpace(s))
-	}
-	ci := t.ColumnIndex(m[1])
+// ResolvePredicate translates one textual comparison (unqualified column
+// name, operator, literal as written — quotes retained for strings) into a
+// code-level predicate on t with identical row semantics, using lower-bound
+// mapping for literals absent from the column dictionary.
+func ResolvePredicate(t *relation.Table, column string, op Op, lit string) (Predicate, error) {
+	ci := t.ColumnIndex(column)
 	if ci < 0 {
-		return Predicate{}, fmt.Errorf("workload: unknown column %q", m[1])
-	}
-	var op Op
-	switch m[2] {
-	case "=":
-		op = OpEq
-	case "<":
-		op = OpLt
-	case ">":
-		op = OpGt
-	case "<=":
-		op = OpLe
-	case ">=":
-		op = OpGe
+		return Predicate{}, fmt.Errorf("workload: unknown column %q", column)
 	}
 	col := t.Cols[ci]
-	lb, exact, err := lowerBound(col, m[3])
+	lb, exact, err := lowerBound(col, lit)
 	if err != nil {
 		return Predicate{}, err
 	}

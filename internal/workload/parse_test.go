@@ -2,6 +2,7 @@ package workload
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -159,19 +160,89 @@ func TestParseConjunction(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	tbl := parseTable()
-	for _, expr := range []string{
-		"bogus=1",  // unknown column
-		"age~5",    // bad operator
-		"state=NY", // unquoted string on string column
-		"age='x'",  // string literal on int column
-		"age >= ",  // missing value
+	for _, tc := range []struct {
+		expr, wantSub string
+	}{
+		{"bogus=1", "unknown column"},
+		{"age~5", "cannot parse"},        // bad operator
+		{"state=NY", "cannot parse"},     // unquoted bare identifier
+		{"age='x'", "string literal"},    // string literal on int column
+		{"age >= ", "cannot parse"},      // missing value
+		{"score='hi'", "string literal"}, // string literal on float column
+		{"state<=3", "unquoted literal"}, // numeric literal on string column
+		{"age=1 AND bogus=2", "unknown column"},
+		{"other.age>=30", `does not match table "t"`},      // wrong qualifier
+		{"a.x = b.y", "join view"},                         // join clause on a single table
+		{"age>=30 AND a.x = b.y", "join view"},             // join clause mixed with predicates
+		{"x = b.y", "qualified left side"},                 // unqualified join lhs
+		{"a.x < b.y", "only equality"},                     // non-equi join
+		{"a.x = a.y", "relates a table to itself"},         // self join
+		{"a.x = b.y AND a.x = b.y", "duplicate join pred"}, // duplicate clause
+		{"a.x = b.y AND b.y = a.x", "duplicate join pred"}, // duplicate, flipped
 	} {
-		if _, err := ParseQuery(tbl, expr); err == nil {
-			t.Fatalf("expected error for %q", expr)
+		_, err := ParseQuery(tbl, tc.expr)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("ParseQuery(%q) = %v, want substring %q", tc.expr, err, tc.wantSub)
 		}
 	}
 	if q, err := ParseQuery(tbl, "  "); err != nil || len(q.Preds) != 0 {
 		t.Fatal("blank input should parse to the empty query")
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	tbl := parseTable()
+	q, err := ParseQuery(tbl, "t.age>=30 AND t.state='NY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 || q.Preds[0].Col != 0 || q.Preds[1].Col != 2 {
+		t.Fatalf("qualified parse: %v", q)
+	}
+	// Qualified and unqualified forms resolve identically.
+	q2, err := ParseQuery(tbl, "age>=30 AND state='NY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Preds {
+		if q.Preds[i] != q2.Preds[i] {
+			t.Fatalf("qualified %v != unqualified %v", q.Preds[i], q2.Preds[i])
+		}
+	}
+}
+
+func TestParseRawJoinSyntax(t *testing.T) {
+	rq, err := ParseRaw("orders.cust_id = customers.id AND orders.amount<=10 AND region>2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rq.Joins) != 1 || len(rq.Preds) != 2 {
+		t.Fatalf("raw parse: %+v", rq)
+	}
+	j := rq.Joins[0]
+	if j.LeftTable != "orders" || j.LeftCol != "cust_id" || j.RightTable != "customers" || j.RightCol != "id" {
+		t.Fatalf("join clause: %+v", j)
+	}
+	if rq.Preds[0].Table != "orders" || rq.Preds[0].Column != "amount" || rq.Preds[0].Op != OpLe || rq.Preds[0].Lit != "10" {
+		t.Fatalf("first predicate: %+v", rq.Preds[0])
+	}
+	if rq.Preds[1].Table != "" || rq.Preds[1].Column != "region" {
+		t.Fatalf("second predicate: %+v", rq.Preds[1])
+	}
+	// Whitespace around the dots is tolerated.
+	rq2, err := ParseRaw("a . x = b . y")
+	if err != nil || len(rq2.Joins) != 1 {
+		t.Fatalf("spaced join: %+v %v", rq2, err)
+	}
+	// Canonical ordering makes the clause orientation-insensitive.
+	flip := JoinClause{LeftTable: "b", LeftCol: "y", RightTable: "a", RightCol: "x"}
+	if rq2.Joins[0].Canonical() != flip.Canonical() {
+		t.Fatal("canonical clauses differ")
+	}
+	// Two distinct join clauses parse (the router rejects multi-way, not the parser).
+	rq3, err := ParseRaw("a.x = b.y AND b.z = c.w")
+	if err != nil || len(rq3.Joins) != 2 {
+		t.Fatalf("two joins: %+v %v", rq3, err)
 	}
 }
 
