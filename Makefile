@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local and CI invocations stay identical.
 GO ?= go
 
-.PHONY: all build vet fmt test race bench perf serve
+.PHONY: all build vet fmt test race bench perf perf-baseline serve
 
 all: build vet fmt test
 
@@ -26,7 +26,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Fresh perf snapshot gated against the committed baseline (BENCH_PR2.json);
+# `make perf-baseline` refreshes the baseline itself after an intentional change.
 perf:
+	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR2.json -max-regress 0.30 -scale tiny
+
+perf-baseline:
 	$(GO) run ./cmd/duetbench -json BENCH_PR2.json -scale tiny
 
 serve:

@@ -14,6 +14,12 @@
 // (queries/second sequential vs batched vs cached, training throughput, and
 // the Q-Error summary on both paper workloads); CI uploads it as an artifact
 // so the performance trajectory is tracked per commit.
+//
+// -baseline activates the trend gate: the fresh snapshot is compared against
+// the committed baseline report and the run exits non-zero when any
+// throughput metric regressed by more than -max-regress (default 30%):
+//
+//	duetbench -json BENCH_NEW.json -baseline BENCH_PR2.json -scale tiny
 package main
 
 import (
@@ -31,6 +37,8 @@ func main() {
 	scaleName := flag.String("scale", "quick", "tiny | quick | full")
 	out := flag.String("out", "", "write output to this file as well as stdout")
 	jsonOut := flag.String("json", "", "run the perf experiment and write its machine-readable report to this file")
+	baseline := flag.String("baseline", "", "with -json: committed baseline report to gate against")
+	maxRegress := flag.Float64("max-regress", 0.30, "with -baseline: fail when a throughput metric drops by more than this fraction")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -62,6 +70,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+		if *baseline != "" {
+			base, err := bench.LoadReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if regs := rep.CompareBaseline(base, *maxRegress); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "duetbench: perf gate:", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "perf gate: within %.0f%% of %s\n", *maxRegress*100, *baseline)
+		}
 		return
 	}
 	fmt.Fprintf(w, "duetbench: experiment=%s scale=%s\n", *exp, scale.Name)

@@ -66,11 +66,10 @@ func main() {
 	cache := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
 	flag.Parse()
 
+	baseServe := duet.ServeConfig{MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache}
 	reg := duet.NewRegistry(duet.RegistryConfig{
-		Dir: *modelDir,
-		Serve: duet.ServeConfig{
-			MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache,
-		},
+		Dir:           *modelDir,
+		Serve:         baseServe,
 		WatchInterval: *watch,
 		OnReload: func(name string, err error) {
 			if err != nil {
@@ -88,7 +87,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := assembleRegistry(reg, man, filepath.Dir(*manifestPath), *modelDir, *buildJoin); err != nil {
+		if err := assembleRegistry(reg, man, filepath.Dir(*manifestPath), *modelDir, *buildJoin, baseServe); err != nil {
 			fatal(err)
 		}
 		if *buildJoin {

@@ -7,6 +7,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"duet"
 )
@@ -18,6 +19,43 @@ type Manifest struct {
 	Models []ModelSpec `json:"models"`
 	// Joins are join views over two named base tables.
 	Joins []JoinViewSpec `json:"joins"`
+}
+
+// ServeSpec overrides the registry-wide serving-engine configuration for one
+// manifest entry. Zero fields keep the registry default; a negative cache
+// disables caching (the engine's convention).
+type ServeSpec struct {
+	// Batch caps the micro-batch size.
+	Batch int `json:"batch,omitempty"`
+	// FlushUS is the coalescing flush window in microseconds; negative
+	// disables waiting.
+	FlushUS int64 `json:"flush_us,omitempty"`
+	// Cache is the LRU result-cache capacity in entries; negative disables.
+	Cache int `json:"cache,omitempty"`
+	// Queue is the pending-request channel capacity.
+	Queue int `json:"queue,omitempty"`
+}
+
+// config renders the override as an engine configuration, inheriting
+// unset fields from the registry-wide base.
+func (s *ServeSpec) config(base duet.ServeConfig) *duet.ServeConfig {
+	if s == nil {
+		return nil
+	}
+	cfg := base
+	if s.Batch != 0 {
+		cfg.MaxBatch = s.Batch
+	}
+	if s.FlushUS != 0 {
+		cfg.FlushWindow = time.Duration(s.FlushUS) * time.Microsecond
+	}
+	if s.Cache != 0 {
+		cfg.CacheSize = s.Cache
+	}
+	if s.Queue != 0 {
+		cfg.QueueDepth = s.Queue
+	}
+	return &cfg
 }
 
 // ModelSpec declares one base-table model. The table comes from a CSV file
@@ -37,23 +75,42 @@ type ModelSpec struct {
 	TrainEpochs *int `json:"train_epochs,omitempty"`
 	// Large selects the DMV-sized architecture.
 	Large bool `json:"large,omitempty"`
+	// Serve overrides the engine configuration for this model only.
+	Serve *ServeSpec `json:"serve,omitempty"`
 }
 
-// JoinViewSpec declares one join view: the equi-join Left.LeftCol =
-// Right.RightCol over two tables named in Models, materialized with
-// relation.EquiJoin and served by its own estimator.
+// JoinViewSpec declares one join view over tables named in Models.
+//
+// The two-table form (left/left_col/right/right_col) materializes the inner
+// equi-join Left.LeftCol = Right.RightCol with relation.EquiJoin — the
+// legacy layout, still read and routed exactly as before.
+//
+// The join-graph form (tables + edges) materializes the full outer join of
+// an N-table join tree with per-base-table fanout columns
+// (relation.MultiJoin); the router answers any connected subset of its edges
+// with fanout-corrected estimates. The two forms are mutually exclusive.
 type JoinViewSpec struct {
-	Name     string `json:"name"`
-	Left     string `json:"left"`
-	LeftCol  string `json:"left_col"`
-	Right    string `json:"right"`
-	RightCol string `json:"right_col"`
-	Model    string `json:"model,omitempty"`
+	Name string `json:"name"`
+	// Legacy two-table form.
+	Left     string `json:"left,omitempty"`
+	LeftCol  string `json:"left_col,omitempty"`
+	Right    string `json:"right,omitempty"`
+	RightCol string `json:"right_col,omitempty"`
+	// Join-graph form: tables[0] roots the tree; edges must connect every
+	// table (len(tables)-1 of them).
+	Tables []string            `json:"tables,omitempty"`
+	Edges  []duet.JoinEdgeSpec `json:"edges,omitempty"`
+
+	Model string `json:"model,omitempty"`
 	// TrainEpochs trains the join model in-process when no weights file
 	// exists (or when -build-join rebuilds it). Default 3.
-	TrainEpochs *int `json:"train_epochs,omitempty"`
-	Large       bool `json:"large,omitempty"`
+	TrainEpochs *int       `json:"train_epochs,omitempty"`
+	Large       bool       `json:"large,omitempty"`
+	Serve       *ServeSpec `json:"serve,omitempty"`
 }
+
+// graph reports whether the spec uses the join-graph form.
+func (js JoinViewSpec) graph() bool { return len(js.Tables) > 0 || len(js.Edges) > 0 }
 
 // loadManifest reads and validates a manifest file.
 func loadManifest(path string) (*Manifest, error) {
@@ -85,6 +142,21 @@ func loadManifest(path string) (*Manifest, error) {
 			return nil, fmt.Errorf("manifest %s: join view needs a fresh name, got %q", path, js.Name)
 		}
 		names[js.Name] = true
+		if js.graph() {
+			if js.Left != "" || js.Right != "" || js.LeftCol != "" || js.RightCol != "" {
+				return nil, fmt.Errorf("manifest %s: join %q mixes the two-table form with tables/edges", path, js.Name)
+			}
+			if len(js.Tables) < 2 || len(js.Edges) != len(js.Tables)-1 {
+				return nil, fmt.Errorf("manifest %s: join %q needs >=2 tables and len(tables)-1 edges, got %d/%d",
+					path, js.Name, len(js.Tables), len(js.Edges))
+			}
+			for _, t := range js.Tables {
+				if !names[t] {
+					return nil, fmt.Errorf("manifest %s: join %q references unknown table %q", path, js.Name, t)
+				}
+			}
+			continue
+		}
 		if !names[js.Left] || !names[js.Right] {
 			return nil, fmt.Errorf("manifest %s: join %q references unknown tables %q/%q", path, js.Name, js.Left, js.Right)
 		}
@@ -193,7 +265,9 @@ func saveModelFile(m *duet.Model, path string) error {
 // assembleRegistry builds every table and model a manifest names and
 // registers them. buildJoins forces retraining and saving of the join-view
 // models (the -build-join offline path) even when weights already exist.
-func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir string, buildJoins bool) error {
+// baseServe is the registry-wide engine configuration per-entry overrides
+// inherit unset fields from.
+func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir string, buildJoins bool, baseServe duet.ServeConfig) error {
 	tables := make(map[string]*duet.Table, len(man.Models))
 	for _, ms := range man.Models {
 		tbl, err := ms.buildTable(manifestDir)
@@ -213,7 +287,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if err != nil {
 			return fmt.Errorf("model %q: %w", ms.Name, err)
 		}
-		opts := duet.AddOpts{}
+		opts := duet.AddOpts{Serve: ms.Serve.config(baseServe)}
 		if fileBacked {
 			opts.Path = path
 		}
@@ -222,7 +296,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		}
 	}
 	for _, js := range man.Joins {
-		joined, err := duet.BuildJoinView(js.Name, tables[js.Left], js.LeftCol, tables[js.Right], js.RightCol)
+		joined, opts, err := js.materialize(tables)
 		if err != nil {
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
@@ -245,9 +319,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if err != nil {
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
-		opts := duet.AddOpts{Join: &duet.JoinSpec{
-			Left: js.Left, LeftCol: js.LeftCol, Right: js.Right, RightCol: js.RightCol,
-		}}
+		opts.Serve = js.Serve.config(baseServe)
 		if fileBacked {
 			opts.Path = path
 		}
@@ -256,6 +328,39 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		}
 	}
 	return nil
+}
+
+// materialize builds the join view's table and registration options: a
+// legacy inner equi-join for the two-table form, a full-outer join-graph
+// view for the tables/edges form.
+func (js JoinViewSpec) materialize(tables map[string]*duet.Table) (*duet.Table, duet.AddOpts, error) {
+	if !js.graph() {
+		joined, err := duet.BuildJoinView(js.Name, tables[js.Left], js.LeftCol, tables[js.Right], js.RightCol)
+		if err != nil {
+			return nil, duet.AddOpts{}, err
+		}
+		return joined, duet.AddOpts{Join: &duet.JoinSpec{
+			Left: js.Left, LeftCol: js.LeftCol, Right: js.Right, RightCol: js.RightCol,
+		}}, nil
+	}
+	base := make([]*duet.Table, len(js.Tables))
+	for i, t := range js.Tables {
+		tbl, ok := tables[t]
+		if !ok {
+			return nil, duet.AddOpts{}, fmt.Errorf("unknown base table %q", t)
+		}
+		base[i] = tbl
+	}
+	edges := make([]duet.JoinEdge, len(js.Edges))
+	for i, e := range js.Edges {
+		edges[i] = duet.JoinEdge{LeftTable: e.Left, LeftCol: e.LeftCol, RightTable: e.Right, RightCol: e.RightCol}
+	}
+	joined, err := duet.BuildJoinGraphView(js.Name, base, edges)
+	if err != nil {
+		return nil, duet.AddOpts{}, err
+	}
+	spec := &duet.JoinGraphSpec{Tables: append([]string(nil), js.Tables...), Edges: append([]duet.JoinEdgeSpec(nil), js.Edges...)}
+	return joined, duet.AddOpts{Graph: spec}, nil
 }
 
 func synTable(syn string, rows int, seed int64) (*duet.Table, error) {

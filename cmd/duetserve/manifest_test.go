@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duet"
+)
+
+// TestLegacyManifestGolden loads the committed PR2-era manifest (two-table
+// joins only, pre-join-graph schema) and proves it still assembles and
+// routes through the untouched legacy path: the join view answers the join
+// expression with no fanout calibration, bitwise equal to estimating the
+// routed query directly.
+func TestLegacyManifestGolden(t *testing.T) {
+	man, err := loadManifest(filepath.Join("testdata", "legacy_manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: t.TempDir()})
+	defer reg.Close()
+	if err := assembleRegistry(reg, man, "testdata", t.TempDir(), false, duet.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("assembled %d models, want 3", reg.Len())
+	}
+
+	expr := "orders.cust_id = customers.id AND orders.amount<=10"
+	// The legacy route is expressible without calibration...
+	name, q, err := reg.Route("", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "orders_customers" {
+		t.Fatalf("routed to %q", name)
+	}
+	res, err := reg.Resolve("", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calib != nil {
+		t.Fatalf("legacy view picked up a fanout calibration: %+v", res)
+	}
+	// ...and the routed estimate is bitwise the direct estimate.
+	direct, err := reg.Estimate(context.Background(), name, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotName, got, err := reg.EstimateExpr(context.Background(), "", expr)
+	if err != nil || gotName != name {
+		t.Fatalf("EstimateExpr: %q %v", gotName, err)
+	}
+	if math.Float64bits(got) != math.Float64bits(direct) {
+		t.Fatalf("routed %v != direct %v", got, direct)
+	}
+	// The view's predicates land on the legacy l_/r_ columns.
+	tbl, err := reg.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.Cols[q.Preds[0].Col].Name; c != "l_amount" {
+		t.Fatalf("predicate on %q, want l_amount", c)
+	}
+}
+
+// TestGraphManifest loads the committed join-graph manifest (3-table chain,
+// per-model serve overrides) and checks routing, the exact join-size answer,
+// and that the view's cache-disabling override sticks.
+func TestGraphManifest(t *testing.T) {
+	man, err := loadManifest(filepath.Join("testdata", "graph_manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: t.TempDir(), Serve: duet.ServeConfig{CacheSize: 64}})
+	defer reg.Close()
+	if err := assembleRegistry(reg, man, "testdata", t.TempDir(), false, duet.ServeConfig{CacheSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 4 {
+		t.Fatalf("assembled %d models, want 4", reg.Len())
+	}
+
+	// A 3-table chain query routes to the graph view.
+	ctx := context.Background()
+	expr := "orders.cust_id = customers.id AND customers.region_id = regions.id AND orders.amount<=10"
+	name, _, err := reg.EstimateExpr(ctx, "", expr)
+	if err != nil || name != "ocr" {
+		t.Fatalf("chain query: %q %v", name, err)
+	}
+
+	// With no value predicates the estimate is the exact 3-way inner join,
+	// independently computable from the base tables.
+	tables := make([]*duet.Table, 3)
+	for i, n := range []string{"orders", "customers", "regions"} {
+		if tables[i], err = reg.Table(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := duet.JoinGraphCardinality(tables, []duet.JoinEdge{
+		{LeftTable: "orders", LeftCol: "cust_id", RightTable: "customers", RightCol: "id"},
+		{LeftTable: "customers", LeftCol: "region_id", RightTable: "regions", RightCol: "id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, card, err := reg.EstimateExpr(ctx, "", "orders.cust_id = customers.id AND customers.region_id = regions.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != float64(exact) {
+		t.Fatalf("join-size estimate %v, want exact %d", card, exact)
+	}
+
+	// The view's serve override disables its cache; repeats never hit.
+	for i := 0; i < 3; i++ {
+		if _, _, err := reg.EstimateExpr(ctx, "", expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := reg.Stats()
+	if got := stats.PerModel["ocr"].CacheHits; got != 0 {
+		t.Fatalf("ocr cache override ignored: %d hits", got)
+	}
+	// A model without an override keeps the registry-wide cache.
+	q := "orders.amount<=10"
+	for i := 0; i < 3; i++ {
+		if _, _, err := reg.EstimateExpr(ctx, "orders", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Stats().PerModel["orders"].CacheHits; got == 0 {
+		t.Fatal("orders should use the registry-wide cache")
+	}
+}
+
+func TestManifestGraphValidation(t *testing.T) {
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "m.json")
+	base := `{"models": [{"name": "a", "syn": "census"}, {"name": "b", "syn": "census"}, {"name": "c", "syn": "census"}], "joins": [%s]}`
+	for _, tc := range []struct {
+		join, wantSub string
+	}{
+		{`{"name": "j", "tables": ["a", "b"], "edges": [{"left": "a", "left_col": "x", "right": "b", "right_col": "y"}], "left": "a"}`, "mixes"},
+		{`{"name": "j", "tables": ["a", "b", "c"], "edges": [{"left": "a", "left_col": "x", "right": "b", "right_col": "y"}]}`, "len(tables)-1 edges"},
+		{`{"name": "j", "tables": ["a", "nope"], "edges": [{"left": "a", "left_col": "x", "right": "nope", "right_col": "y"}]}`, "unknown table"},
+		{`{"name": "j", "tables": ["a"], "edges": []}`, ">=2 tables"},
+	} {
+		if err := os.WriteFile(manPath, []byte(fmt.Sprintf(base, tc.join)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := loadManifest(manPath)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("join %s: err %v, want substring %q", tc.join, err, tc.wantSub)
+		}
+	}
+}

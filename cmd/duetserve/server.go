@@ -75,34 +75,22 @@ func (s *server) estimate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// estimateBatch routes every expression, groups them by resolved model, and
-// answers each group with one registry batch call, so a mixed batch still
-// rides each backend's coalesced inference.
+// estimateBatch routes every expression and answers them through the
+// registry's resolution batch path, which groups by resolved model — one
+// coalesced backend call per model, join-graph fanout calibration included.
 func (s *server) estimateBatch(r *http.Request, req estimateRequest) ([]string, []float64, error) {
 	names := make([]string, len(req.Queries))
-	queries := make([]duet.Query, len(req.Queries))
-	groups := map[string][]int{}
+	resolutions := make([]duet.Resolution, len(req.Queries))
 	for i, expr := range req.Queries {
-		name, q, err := s.reg.Route(req.Model, expr)
+		res, err := s.reg.Resolve(req.Model, expr)
 		if err != nil {
 			return nil, nil, fmt.Errorf("queries[%d]: %w", i, err)
 		}
-		names[i], queries[i] = name, q
-		groups[name] = append(groups[name], i)
+		names[i], resolutions[i] = res.Model, res
 	}
-	cards := make([]float64, len(req.Queries))
-	for name, idxs := range groups {
-		qs := make([]duet.Query, len(idxs))
-		for j, i := range idxs {
-			qs[j] = queries[i]
-		}
-		got, err := s.reg.EstimateBatch(r.Context(), name, qs)
-		if err != nil {
-			return nil, nil, err
-		}
-		for j, i := range idxs {
-			cards[i] = got[j]
-		}
+	cards, err := s.reg.EstimateResolutions(r.Context(), resolutions)
+	if err != nil {
+		return nil, nil, err
 	}
 	return names, cards, nil
 }

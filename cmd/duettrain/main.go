@@ -13,12 +13,23 @@
 //	duettrain -join -left-csv orders.csv -left-col cust_id \
 //	          -right-csv customers.csv -right-col id \
 //	          -join-name oc -model oc.duet
+//
+// Join-graph mode generalizes to N tables: -join-tables names each base
+// table's source and -join-edges spells the spanning tree of equi-join
+// clauses; the model trains over the full outer join with per-table fanout
+// columns (relation.MultiJoin), the substrate duetserve's registry serves
+// multi-way join queries from:
+//
+//	duettrain -join -join-tables "orders=orders.csv,customers=customers.csv,regions=regions.csv" \
+//	          -join-edges "orders.cust_id=customers.id,customers.region_id=regions.id" \
+//	          -join-name ocr -model ocr.duet
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"duet"
 	"duet/internal/exec"
@@ -38,7 +49,7 @@ func main() {
 	trainQ := flag.Int("trainq", 2000, "training workload size for -hybrid")
 	large := flag.Bool("large", false, "use the large MADE architecture (DMV-style)")
 	// Join-view mode.
-	join := flag.Bool("join", false, "train over the equi-join of two tables instead of one table")
+	join := flag.Bool("join", false, "train over the join of several tables instead of one table")
 	leftCSV := flag.String("left-csv", "", "join mode: left CSV file")
 	leftSyn := flag.String("left-syn", "", "join mode: left synthetic dataset")
 	leftCol := flag.String("left-col", "", "join mode: left join column")
@@ -46,13 +57,22 @@ func main() {
 	rightSyn := flag.String("right-syn", "", "join mode: right synthetic dataset")
 	rightCol := flag.String("right-col", "", "join mode: right join column")
 	joinName := flag.String("join-name", "joinview", "join mode: name of the materialized view")
+	// Join-graph mode (N tables).
+	joinTables := flag.String("join-tables", "", `join-graph mode: comma list of name=source base tables (source: a CSV path or syn:dmv|kdd|census)`)
+	joinEdges := flag.String("join-edges", "", `join-graph mode: comma list of equi-join clauses "a.x=b.y" forming a spanning tree`)
 	flag.Parse()
 
 	var tbl *duet.Table
 	var err error
-	if *join {
+	switch {
+	case *joinTables != "" || *joinEdges != "":
+		if !*join {
+			fatal(fmt.Errorf("-join-tables/-join-edges require -join"))
+		}
+		tbl, err = buildJoinGraphTable(*joinTables, *joinEdges, *joinName, *rows, *seed)
+	case *join:
 		tbl, err = buildJoinTable(*leftCSV, *leftSyn, *leftCol, *rightCSV, *rightSyn, *rightCol, *joinName, *rows, *seed)
-	} else {
+	default:
 		tbl, err = loadTable(*csvPath, *syn, *rows, *seed)
 	}
 	if err != nil {
@@ -90,6 +110,54 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("saved %s (%.2f MB)\n", *modelPath, float64(m.SizeBytes())/1e6)
+}
+
+// buildJoinGraphTable loads every named base table and materializes the full
+// outer join of the edge tree with fanout columns, the training substrate
+// for a registry join-graph view. Synthetic sources share -rows and offset
+// -seed by their position so the tables differ.
+func buildJoinGraphTable(tablesArg, edgesArg, name string, rows int, seed int64) (*duet.Table, error) {
+	if tablesArg == "" || edgesArg == "" {
+		return nil, fmt.Errorf("join-graph mode needs both -join-tables and -join-edges")
+	}
+	var tables []*duet.Table
+	for i, part := range strings.Split(tablesArg, ",") {
+		nameSrc := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(nameSrc) != 2 || nameSrc[0] == "" || nameSrc[1] == "" {
+			return nil, fmt.Errorf("bad -join-tables entry %q (want name=source)", part)
+		}
+		var tbl *duet.Table
+		var err error
+		if syn, ok := strings.CutPrefix(nameSrc[1], "syn:"); ok {
+			tbl, err = loadTable("", syn, rows, seed+int64(i))
+		} else {
+			tbl, err = loadTable(nameSrc[1], "", rows, seed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", nameSrc[0], err)
+		}
+		tbl.Name = nameSrc[0]
+		tables = append(tables, tbl)
+	}
+	// Reuse the query parser for the clause list: commas become ANDs.
+	rq, err := workload.ParseRaw(strings.ReplaceAll(edgesArg, ",", " AND "))
+	if err != nil {
+		return nil, fmt.Errorf("-join-edges: %w", err)
+	}
+	if len(rq.Preds) > 0 {
+		return nil, fmt.Errorf("-join-edges %q contains a non-join predicate", edgesArg)
+	}
+	edges := make([]duet.JoinEdge, len(rq.Joins))
+	for i, c := range rq.Joins {
+		edges[i] = duet.JoinEdge{LeftTable: c.LeftTable, LeftCol: c.LeftCol, RightTable: c.RightTable, RightCol: c.RightCol}
+	}
+	joined, err := duet.BuildJoinGraphView(name, tables, edges)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("join graph over %d tables, %d edges: %d rows (full outer, fanout columns)\n",
+		len(tables), len(edges), joined.NumRows())
+	return joined, nil
 }
 
 // buildJoinTable loads both sides and materializes their inner equi-join,

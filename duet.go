@@ -44,6 +44,28 @@
 //	card, err := reg.Estimate(ctx, "orders", q)
 //	name, card, err := reg.EstimateExpr(ctx, "", "orders.cust_id = customers.id AND orders.amount<=10")
 //
+// Multi-way joins: BuildJoinGraphView materializes the full outer join of an
+// N-table join tree (chain or star) with per-base-table fanout columns, and a
+// view registered with AddOpts.Graph answers queries carrying several join
+// clauses. The router matches the clause set against the view's edge set —
+// orientation- and order-insensitively, including connected subsets of a
+// larger view — and anchors every estimate on the exact inner-join
+// cardinality of the queried subtree (fanout correction), so a join-size
+// query with no predicates is answered exactly:
+//
+//	view, _ := duet.BuildJoinGraphView("ocr",
+//	    []*duet.Table{orders, customers, regions},
+//	    []duet.JoinEdge{
+//	        {LeftTable: "orders", LeftCol: "cust_id", RightTable: "customers", RightCol: "id"},
+//	        {LeftTable: "customers", LeftCol: "region_id", RightTable: "regions", RightCol: "id"}})
+//	reg.Add("ocr", view, viewModel, duet.AddOpts{Graph: &duet.JoinGraphSpec{
+//	    Tables: []string{"orders", "customers", "regions"},
+//	    Edges: []duet.JoinEdgeSpec{
+//	        {Left: "orders", LeftCol: "cust_id", Right: "customers", RightCol: "id"},
+//	        {Left: "customers", LeftCol: "region_id", Right: "regions", RightCol: "id"}}}})
+//	_, card, err := reg.EstimateExpr(ctx, "",
+//	    "orders.cust_id = customers.id AND customers.region_id = regions.id AND orders.amount<=10")
+//
 // cmd/duetserve exposes the registry over HTTP (POST /estimate with an
 // optional model name, GET /models, POST /models/{name}/reload, GET /healthz,
 // GET /stats); examples/serving and examples/multimodel are runnable
@@ -249,10 +271,18 @@ type (
 	// RegistryConfig tunes the registry: model directory, per-model serve
 	// engine settings, and the hot-reload watch interval.
 	RegistryConfig = registry.Config
-	// AddOpts refines Registry.Add (model file path, join-view spec).
+	// AddOpts refines Registry.Add (model file path, join-view spec,
+	// per-model serve config).
 	AddOpts = registry.AddOpts
-	// JoinSpec names the equi-join a registered view was built from.
+	// JoinSpec names the two-table equi-join a legacy view was built from.
 	JoinSpec = registry.JoinSpec
+	// JoinGraphSpec names the N-way join tree a graph view was built from.
+	JoinGraphSpec = registry.JoinGraphSpec
+	// JoinEdgeSpec is one equi-join edge of a JoinGraphSpec.
+	JoinEdgeSpec = registry.JoinEdgeSpec
+	// Resolution is a routed expression: model, rewritten query, and — for
+	// join-graph routes — the fanout calibration anchoring the estimate.
+	Resolution = registry.Resolution
 	// ModelInfo is a snapshot of one registered model.
 	ModelInfo = registry.ModelInfo
 	// RegistryStats aggregates router counters and per-model engine stats.
@@ -269,16 +299,36 @@ var ErrRegistryClosed = registry.ErrClosed
 func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
 
 // BuildJoinView materializes the inner equi-join of two registered base
-// tables for training a join-view model (NeuroCard-style: answer join
-// queries as single-table queries over the join result).
+// tables for training a legacy two-table join-view model (NeuroCard-style:
+// answer join queries as single-table queries over the join result).
 func BuildJoinView(name string, left *Table, leftCol string, right *Table, rightCol string) (*Table, error) {
 	return relation.EquiJoin(name, left, leftCol, right, rightCol)
+}
+
+// JoinEdge is one equi-join condition between two named tables, the edge
+// type of a join graph.
+type JoinEdge = relation.JoinEdge
+
+// BuildJoinGraphView materializes the full outer join of an N-table join
+// tree (len(tables)-1 edges connecting every table) with per-base-table
+// fanout columns — the training substrate for a registry join-graph view
+// (AddOpts.Graph). Restricting the result to rows where every fanout column
+// is >= 1 recovers exactly the inner join; the registry router does this, and
+// anchors estimates on exact subtree cardinalities, automatically.
+func BuildJoinGraphView(name string, tables []*Table, edges []JoinEdge) (*Table, error) {
+	return relation.MultiJoin(name, &relation.JoinGraph{Tables: tables, Edges: edges})
 }
 
 // JoinCardinality computes the exact inner equi-join size without
 // materializing it — the ground-truth oracle for join estimates.
 func JoinCardinality(left *Table, leftCol string, right *Table, rightCol string) (int64, error) {
 	return relation.JoinCardinality(left, leftCol, right, rightCol)
+}
+
+// JoinGraphCardinality computes the exact N-way inner-join size of a join
+// tree without materializing it, generalizing JoinCardinality.
+func JoinGraphCardinality(tables []*Table, edges []JoinEdge) (int64, error) {
+	return relation.MultiJoinCardinality(&relation.JoinGraph{Tables: tables, Edges: edges})
 }
 
 // ParseQuery parses a conjunctive WHERE-style expression against a table,

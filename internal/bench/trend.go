@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadReport reads a PerfReport previously written with WriteJSON — the
+// committed baseline the CI trend gate compares fresh runs against.
+func LoadReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBaseline checks this report's throughput metrics against a baseline
+// and returns one message per metric that regressed by more than maxDrop
+// (0.30 = fail when a metric loses over 30% of its baseline value). Metrics
+// the baseline lacks are skipped, so older baselines stay usable. An empty
+// result means the gate passes.
+func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string {
+	var regressions []string
+	check := func(name string, cur, prev float64) {
+		if prev <= 0 {
+			return
+		}
+		if cur < prev*(1-maxDrop) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%%: %.0f -> %.0f (baseline allows -%.0f%%)",
+					name, 100*(1-cur/prev), prev, cur, 100*maxDrop))
+		}
+	}
+	check("seq q/s", r.SeqQPS, base.SeqQPS)
+	check("batched q/s", r.BatchQPS, base.BatchQPS)
+	check("cached q/s", r.CachedQPS, base.CachedQPS)
+	check("train tuples/s", r.TrainTuplesPerS, base.TrainTuplesPerS)
+	return regressions
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBaseline(t *testing.T) {
+	base := &PerfReport{SeqQPS: 1000, BatchQPS: 4000, CachedQPS: 100000, TrainTuplesPerS: 5000}
+	// Within the allowance: no regressions.
+	cur := &PerfReport{SeqQPS: 800, BatchQPS: 3000, CachedQPS: 75000, TrainTuplesPerS: 3600}
+	if regs := cur.CompareBaseline(base, 0.30); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// One metric collapses: exactly that metric is reported.
+	cur = &PerfReport{SeqQPS: 1000, BatchQPS: 2000, CachedQPS: 100000, TrainTuplesPerS: 5000}
+	regs := cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "batched q/s") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// Improvements never trip the gate.
+	cur = &PerfReport{SeqQPS: 9000, BatchQPS: 40000, CachedQPS: 1e6, TrainTuplesPerS: 50000}
+	if regs := cur.CompareBaseline(base, 0.30); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	// Metrics missing from an old baseline are skipped.
+	old := &PerfReport{SeqQPS: 1000}
+	cur = &PerfReport{SeqQPS: 950, BatchQPS: 1}
+	if regs := cur.CompareBaseline(old, 0.30); len(regs) != 0 {
+		t.Fatalf("missing-metric comparison: %v", regs)
+	}
+}
+
+func TestLoadReportRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := &PerfReport{Scale: "tiny", Dataset: "census", SeqQPS: 1234.5, BatchQPS: 6789.0}
+	if err := want.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != want.Scale || got.SeqQPS != want.SeqQPS || got.BatchQPS != want.BatchQPS {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

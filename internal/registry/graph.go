@@ -1,0 +1,299 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"duet/internal/exec"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// JoinEdgeSpec names one equi-join edge of a join-graph view:
+// Left.LeftCol = Right.RightCol over two base-table names.
+type JoinEdgeSpec struct {
+	Left     string `json:"left"`
+	LeftCol  string `json:"left_col"`
+	Right    string `json:"right"`
+	RightCol string `json:"right_col"`
+}
+
+// Clause returns the edge as a parsed join clause.
+func (e JoinEdgeSpec) Clause() workload.JoinClause {
+	return workload.JoinClause{LeftTable: e.Left, LeftCol: e.LeftCol, RightTable: e.Right, RightCol: e.RightCol}
+}
+
+func (e JoinEdgeSpec) String() string { return e.Clause().String() }
+
+// Edge returns the relation-layer form of the edge.
+func (e JoinEdgeSpec) Edge() relation.JoinEdge {
+	return relation.JoinEdge{LeftTable: e.Left, LeftCol: e.LeftCol, RightTable: e.Right, RightCol: e.RightCol}
+}
+
+// JoinGraphSpec names the N-way join a graph view was materialized from: the
+// base tables and the spanning tree of equi-join edges over them (the
+// relation.MultiJoin shape). The router matches a query's join-clause set
+// against the edge set orientation- and order-insensitively.
+type JoinGraphSpec struct {
+	Tables []string       `json:"tables"`
+	Edges  []JoinEdgeSpec `json:"edges"`
+}
+
+// Key returns the canonical edge-set key the registry indexes graph views by.
+func (s JoinGraphSpec) Key() string {
+	clauses := make([]workload.JoinClause, len(s.Edges))
+	for i, e := range s.Edges {
+		clauses[i] = e.Clause()
+	}
+	return workload.JoinSetKey(clauses)
+}
+
+func (s JoinGraphSpec) String() string { return s.Key() }
+
+// graphView is the runtime state of one registered join-graph view: the
+// validated spec, the per-table column map over the materialized view, the
+// presence predicate of every base table (its fanout column >= 1), the NULL
+// sentinel code of every nullable view column, and the lazily computed exact
+// inner-join count per queried subtree (the fanout-correction anchors the
+// router calibrates estimates against).
+type graphView struct {
+	spec   JoinGraphSpec
+	key    string
+	view   *relation.Table
+	tables map[string]bool
+	edges  map[workload.JoinClause]JoinEdgeSpec // canonical clause -> edge
+
+	colIdx   map[string]int                // view column name -> index
+	presence map[string]workload.Predicate // base table -> fanout>=1 predicate
+	nullCode map[int]int32                 // view column index -> NULL sentinel code
+
+	// base holds the base tables that were registered when the view was
+	// added; subset-join fanout correction needs them for the exact
+	// inner-join count of the queried subtree.
+	base map[string]*relation.Table
+
+	mu   sync.Mutex
+	corr map[string]float64 // canonical subtree key -> exact inner-join count
+}
+
+// newGraphView validates a spec against its materialized view table. The view
+// must carry, for every base table, a fanout column (relation.FanoutColumn)
+// and "<table>_<col>"-named value columns (relation.JoinViewColumn) — the
+// layout relation.MultiJoin produces.
+func newGraphView(spec JoinGraphSpec, view *relation.Table) (*graphView, error) {
+	if len(spec.Tables) < 2 {
+		return nil, fmt.Errorf("registry: join graph needs at least 2 tables, got %d", len(spec.Tables))
+	}
+	v := &graphView{
+		spec:     spec,
+		key:      spec.Key(),
+		view:     view,
+		tables:   make(map[string]bool, len(spec.Tables)),
+		edges:    make(map[workload.JoinClause]JoinEdgeSpec, len(spec.Edges)),
+		colIdx:   make(map[string]int, view.NumCols()),
+		presence: make(map[string]workload.Predicate, len(spec.Tables)),
+		nullCode: make(map[int]int32),
+		base:     make(map[string]*relation.Table),
+		corr:     make(map[string]float64),
+	}
+	for _, t := range spec.Tables {
+		if t == "" {
+			return nil, fmt.Errorf("registry: join graph with empty table name")
+		}
+		if v.tables[t] {
+			return nil, fmt.Errorf("registry: duplicate table %q in join graph", t)
+		}
+		v.tables[t] = true
+	}
+	if len(spec.Edges) != len(spec.Tables)-1 {
+		return nil, fmt.Errorf("registry: join graph over %d tables needs %d edges (a spanning tree), got %d",
+			len(spec.Tables), len(spec.Tables)-1, len(spec.Edges))
+	}
+	for _, e := range spec.Edges {
+		if !v.tables[e.Left] || !v.tables[e.Right] {
+			return nil, fmt.Errorf("registry: join edge %s references a table outside the graph", e)
+		}
+		if e.Left == e.Right {
+			return nil, fmt.Errorf("registry: join edge %s relates a table to itself", e)
+		}
+		key := e.Clause().Canonical()
+		if _, dup := v.edges[key]; dup {
+			return nil, fmt.Errorf("registry: duplicate join edge %s", e)
+		}
+		v.edges[key] = e
+	}
+	if !connectedSpec(spec) {
+		return nil, fmt.Errorf("registry: join graph %s is not connected", spec)
+	}
+	for i, c := range view.Cols {
+		v.colIdx[c.Name] = i
+		// Reject views whose "<table>_<col>" names cannot be attributed to
+		// one base table — predicate rewriting and NULL-sentinel tracking
+		// would guess wrong (relation.MultiJoin refuses to build these; this
+		// guards hand-assembled views).
+		owners := 0
+		for _, t := range spec.Tables {
+			if strings.HasPrefix(c.Name, relation.JoinViewColumn(t, "")) {
+				owners++
+			}
+		}
+		if owners > 1 {
+			return nil, fmt.Errorf("registry: view column %q is ambiguous between several base tables; rename table or column", c.Name)
+		}
+	}
+	// Presence predicates and NULL sentinels. A base table is absent from a
+	// view row exactly when its fanout is 0; when any row misses the table,
+	// its value columns carry a NULL sentinel as their greatest code.
+	for _, t := range spec.Tables {
+		fi, ok := v.colIdx[relation.FanoutColumn(t)]
+		if !ok {
+			return nil, fmt.Errorf("registry: view %q lacks fanout column %q; materialize graph views with relation.MultiJoin", view.Name, relation.FanoutColumn(t))
+		}
+		fc := view.Cols[fi]
+		if fc.Kind != relation.KindInt {
+			return nil, fmt.Errorf("registry: fanout column %q is %v, want int", fc.Name, fc.Kind)
+		}
+		v.presence[t] = workload.Predicate{Col: fi, Op: workload.OpGe, Code: fc.LowerBoundInt(1)}
+		if fc.NumDistinct() > 0 && fc.Ints[0] == 0 {
+			// Some rows miss this table: every value column of t is nullable.
+			prefix := relation.JoinViewColumn(t, "")
+			for ci, c := range view.Cols {
+				if strings.HasPrefix(c.Name, prefix) && ownerTable(spec.Tables, c.Name) == t {
+					v.nullCode[ci] = int32(c.NumDistinct()) - 1
+				}
+			}
+		}
+	}
+	return v, nil
+}
+
+// ownerTable resolves which base table a "<table>_<col>" view column belongs
+// to, preferring the longest matching table-name prefix so a table "a" and a
+// table "a_b" cannot claim each other's columns.
+func ownerTable(tables []string, viewCol string) string {
+	best := ""
+	for _, t := range tables {
+		if len(t) > len(best) && strings.HasPrefix(viewCol, relation.JoinViewColumn(t, "")) {
+			best = t
+		}
+	}
+	return best
+}
+
+// connectedSpec reports whether the spec's edges connect all its tables.
+func connectedSpec(spec JoinGraphSpec) bool {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, t := range spec.Tables {
+		parent[t] = t
+	}
+	for _, e := range spec.Edges {
+		parent[find(e.Left)] = find(e.Right)
+	}
+	roots := map[string]bool{}
+	for _, t := range spec.Tables {
+		roots[find(t)] = true
+	}
+	return len(roots) == 1
+}
+
+// mapColumn rewrites a base-table-qualified column onto the view's
+// materialized "<table>_<col>" column.
+func (v *graphView) mapColumn(table, column string) (string, error) {
+	if !v.tables[table] {
+		return "", fmt.Errorf("registry: table %q is not part of the join graph %s", table, v.spec)
+	}
+	name := relation.JoinViewColumn(table, column)
+	if _, ok := v.colIdx[name]; !ok {
+		return "", fmt.Errorf("registry: join view %q has no column %q (from %s.%s)", v.view.Name, name, table, column)
+	}
+	return name, nil
+}
+
+// presencePreds returns the fanout>=1 predicates restricting the view to rows
+// where every named table participates — the rows of the inner join over the
+// queried subtree. Tables are visited in sorted order so the emitted query is
+// deterministic.
+func (v *graphView) presencePreds(tables []string) []workload.Predicate {
+	sorted := append([]string(nil), tables...)
+	sort.Strings(sorted)
+	out := make([]workload.Predicate, 0, len(sorted))
+	for _, t := range sorted {
+		out = append(out, v.presence[t])
+	}
+	return out
+}
+
+// clampNull appends, when the resolved predicate's code interval would reach
+// the column's NULL sentinel (ops > and >= open upward), a "< NULL" bound so
+// the estimator never counts padding rows inside a value range.
+func (v *graphView) clampNull(preds []workload.Predicate, p workload.Predicate) []workload.Predicate {
+	preds = append(preds, p)
+	if nc, ok := v.nullCode[p.Col]; ok && (p.Op == workload.OpGt || p.Op == workload.OpGe) {
+		preds = append(preds, workload.Predicate{Col: p.Col, Op: workload.OpLt, Code: nc})
+	}
+	return preds
+}
+
+// exactJoin returns the exact inner-join cardinality of the subtree the
+// clauses describe — the fanout-correction anchor the router calibrates
+// estimates against. For the view's full edge set it is the count of view
+// rows where every table participates (the full outer join restricted to its
+// inner rows); for a proper subset it is computed from the base tables with
+// relation.MultiJoinCardinality, because subset tuples appear in the view
+// once per combination the excluded tables fan out to. Either count is
+// computed once per subtree and cached.
+func (v *graphView) exactJoin(clauses []workload.JoinClause, tables []string) (float64, error) {
+	key := workload.JoinSetKey(clauses)
+	v.mu.Lock()
+	if s, ok := v.corr[key]; ok {
+		v.mu.Unlock()
+		return s, nil
+	}
+	v.mu.Unlock()
+
+	var exact int64
+	if key == v.key {
+		exact = exec.Cardinality(v.view, workload.Query{Preds: v.presencePreds(tables)})
+	} else {
+		baseTables := make([]*relation.Table, 0, len(tables))
+		var missing []string
+		for _, t := range tables {
+			bt, ok := v.base[t]
+			if !ok {
+				missing = append(missing, t)
+				continue
+			}
+			baseTables = append(baseTables, bt)
+		}
+		if len(missing) > 0 {
+			return 0, fmt.Errorf("registry: fanout correction for the subset join %q needs base tables %s registered alongside view %q",
+				key, strings.Join(missing, ", "), v.view.Name)
+		}
+		edges := make([]relation.JoinEdge, 0, len(clauses))
+		for _, c := range clauses {
+			e, ok := v.edges[c.Canonical()]
+			if !ok {
+				return 0, fmt.Errorf("registry: clause %s is not an edge of view %q", c, v.view.Name)
+			}
+			edges = append(edges, e.Edge())
+		}
+		var err error
+		if exact, err = relation.MultiJoinCardinality(&relation.JoinGraph{Tables: baseTables, Edges: edges}); err != nil {
+			return 0, err
+		}
+	}
+	v.mu.Lock()
+	v.corr[key] = float64(exact)
+	v.mu.Unlock()
+	return float64(exact), nil
+}

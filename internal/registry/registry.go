@@ -40,8 +40,9 @@ type Config struct {
 	// Dir is the model directory: Add with a nil model loads <Dir>/<name>.duet,
 	// SaveModel writes there, and the watcher polls files under it. Default ".".
 	Dir string
-	// Serve is the per-model serving-engine configuration; the zero value
+	// Serve is the registry-wide serving-engine configuration; the zero value
 	// selects the engine defaults (batch 64, 100µs window, 4096-entry cache).
+	// AddOpts.Serve overrides it per model.
 	Serve serve.Config
 	// WatchInterval enables the hot-reload file watcher: every interval, each
 	// file-backed model whose file modification time changed is reloaded.
@@ -80,9 +81,11 @@ type handle struct {
 
 // entry is one registered model.
 type entry struct {
-	name  string
-	table *relation.Table
-	join  *JoinSpec // non-nil for join views
+	name     string
+	table    *relation.Table
+	join     *JoinSpec  // non-nil for legacy two-table join views
+	graph    *graphView // non-nil for join-graph views
+	serveCfg serve.Config
 
 	// Mutable state, guarded by Registry.mu: the current estimator
 	// generation, the model file ("" for purely in-memory models; SaveModel
@@ -97,15 +100,16 @@ type entry struct {
 
 // ModelInfo is a snapshot of one registered model for listings and stats.
 type ModelInfo struct {
-	Name       string      `json:"name"`
-	Table      string      `json:"table"`
-	Rows       int         `json:"rows"`
-	Columns    int         `json:"columns"`
-	Join       *JoinSpec   `json:"join,omitempty"`
-	Path       string      `json:"path,omitempty"`
-	ModelBytes int64       `json:"model_bytes"`
-	Reloads    uint64      `json:"reloads"`
-	Serve      serve.Stats `json:"serve"`
+	Name       string         `json:"name"`
+	Table      string         `json:"table"`
+	Rows       int            `json:"rows"`
+	Columns    int            `json:"columns"`
+	Join       *JoinSpec      `json:"join,omitempty"`
+	Graph      *JoinGraphSpec `json:"graph,omitempty"`
+	Path       string         `json:"path,omitempty"`
+	ModelBytes int64          `json:"model_bytes"`
+	Reloads    uint64         `json:"reloads"`
+	Serve      serve.Stats    `json:"serve"`
 }
 
 // Registry owns named estimators. Create with New, release with Close. All
@@ -113,9 +117,10 @@ type ModelInfo struct {
 type Registry struct {
 	cfg Config
 
-	mu      sync.RWMutex // guards entries, joins, closed, and handle swaps
+	mu      sync.RWMutex // guards entries, joins, graphs, closed, and handle swaps
 	entries map[string]*entry
-	joins   map[workload.JoinClause]string // canonical clause -> view name
+	joins   map[workload.JoinClause]string // canonical clause -> legacy view name
+	graphs  map[string]string              // canonical edge-set key -> graph view name
 	closed  bool
 
 	routed     atomic.Uint64 // queries routed by expression
@@ -135,6 +140,7 @@ func New(cfg Config) *Registry {
 		cfg:     cfg,
 		entries: make(map[string]*entry),
 		joins:   make(map[workload.JoinClause]string),
+		graphs:  make(map[string]string),
 	}
 	if cfg.WatchInterval > 0 {
 		r.watchStop = make(chan struct{})
@@ -155,9 +161,22 @@ type AddOpts struct {
 	// Only meaningful for file-backed models: when Add receives a nil model
 	// it loads from this file, and Reload/watching re-read it.
 	Path string
-	// Join marks the model as a join view over the given equi-join; the
-	// router resolves matching join queries to it.
+	// Join marks the model as a legacy two-table join view over the given
+	// inner equi-join; the router resolves matching single-clause join
+	// queries to it. Mutually exclusive with Graph.
 	Join *JoinSpec
+	// Graph marks the model as a join-graph view over the given N-way join
+	// tree, materialized with relation.MultiJoin (full outer join with
+	// per-table fanout columns). The router resolves queries whose join-
+	// clause set matches the edge set — or a connected subset of it, with
+	// fanout correction — to it. Register the graph's base tables (by their
+	// table names) before the view so subset corrections can compute exact
+	// subtree cardinalities. Mutually exclusive with Join.
+	Graph *JoinGraphSpec
+	// Serve overrides the registry-wide engine configuration for this model
+	// (micro-batch size, flush window, cache size, queue depth). Reloads
+	// keep the override.
+	Serve *serve.Config
 }
 
 // Add registers a model for table t under name. With a non-nil model the
@@ -168,6 +187,16 @@ type AddOpts struct {
 func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOpts) error {
 	if name == "" {
 		return errors.New("registry: empty model name")
+	}
+	if opts.Join != nil && opts.Graph != nil {
+		return errors.New("registry: a view is either a legacy two-table join or a join graph, not both")
+	}
+	var graph *graphView
+	if opts.Graph != nil {
+		var err error
+		if graph, err = newGraphView(*opts.Graph, t); err != nil {
+			return err
+		}
 	}
 	path := opts.Path
 	if m == nil && path == "" {
@@ -189,13 +218,19 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 	if err := checkServable(m); err != nil {
 		return err
 	}
+	serveCfg := r.cfg.Serve
+	if opts.Serve != nil {
+		serveCfg = *opts.Serve
+	}
 	e := &entry{
-		name:    name,
-		table:   t,
-		path:    path,
-		join:    opts.Join,
-		modTime: modTime,
-		h:       &handle{model: m, est: serve.New(m, r.cfg.Serve)},
+		name:     name,
+		table:    t,
+		path:     path,
+		join:     opts.Join,
+		graph:    graph,
+		serveCfg: serveCfg,
+		modTime:  modTime,
+		h:        &handle{model: m, est: serve.New(m, serveCfg)},
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -213,7 +248,39 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 			e.h.est.Close()
 			return fmt.Errorf("registry: join %s already served by view %q", opts.Join, prev)
 		}
+		if prev, dup := r.graphs[workload.JoinSetKey([]workload.JoinClause{key})]; dup {
+			e.h.est.Close()
+			return fmt.Errorf("registry: join %s already served by graph view %q", opts.Join, prev)
+		}
 		r.joins[key] = name
+	}
+	if graph != nil {
+		if prev, dup := r.graphs[graph.key]; dup {
+			e.h.est.Close()
+			return fmt.Errorf("registry: join graph %s already served by view %q", graph.spec, prev)
+		}
+		if len(opts.Graph.Edges) == 1 {
+			if prev, dup := r.joins[opts.Graph.Edges[0].Clause().Canonical()]; dup {
+				e.h.est.Close()
+				return fmt.Errorf("registry: join %s already served by view %q", opts.Graph.Edges[0], prev)
+			}
+		}
+		// Snapshot the registered base tables for subset fanout correction:
+		// prefer the model registered under the base table's name, falling
+		// back to any model serving a table of that name.
+		for bt := range graph.tables {
+			if be, ok := r.entries[bt]; ok && be.join == nil && be.graph == nil && be.table.Name == bt {
+				graph.base[bt] = be.table
+				continue
+			}
+			for _, be := range r.entries {
+				if be.join == nil && be.graph == nil && be.table.Name == bt {
+					graph.base[bt] = be.table
+					break
+				}
+			}
+		}
+		r.graphs[graph.key] = name
 	}
 	r.entries[name] = e
 	return nil
@@ -370,7 +437,7 @@ func (r *Registry) Info() []ModelInfo {
 	// handles are final then, and Stats on a closed engine reads atomics.
 	pinned := !r.closed
 	for _, e := range r.entries {
-		out = append(out, ModelInfo{
+		mi := ModelInfo{
 			Name:    e.name,
 			Table:   e.table.Name,
 			Rows:    e.table.NumRows(),
@@ -378,7 +445,12 @@ func (r *Registry) Info() []ModelInfo {
 			Join:    e.join,
 			Path:    e.path,
 			Reloads: e.reloads.Load(),
-		})
+		}
+		if e.graph != nil {
+			spec := e.graph.spec
+			mi.Graph = &spec
+		}
+		out = append(out, mi)
 		if pinned {
 			e.h.wg.Add(1)
 		}
@@ -454,7 +526,7 @@ func (r *Registry) reload(name string) error {
 	if err := checkServable(m); err != nil {
 		return err
 	}
-	nh := &handle{model: m, est: serve.New(m, r.cfg.Serve)}
+	nh := &handle{model: m, est: serve.New(m, e.serveCfg)}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()

@@ -3,52 +3,186 @@ package registry
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"duet/internal/workload"
 )
 
-// Route resolves a textual conjunctive expression to (model name, resolved
-// query). target selects a model by name; an empty target falls back to the
-// sole registered model, or — for expressions containing a join clause — to
-// the registered join view matching that clause. Join queries must qualify
-// every predicate column with one of the joined base-table names; the router
-// rewrites them onto the view's l_/r_ columns (the paper's NeuroCard-style
-// reduction of join estimation to a single-table query over the join view).
-func (r *Registry) Route(target, expr string) (string, workload.Query, error) {
+// Resolution is the outcome of routing one textual expression: the model that
+// answers it and the query rewritten onto that model's table. Join-graph
+// routes additionally carry a fanout calibration — Exact is the exact
+// inner-join cardinality of the queried subtree and Calib the presence-only
+// query — under which the estimate is
+//
+//	Exact * clamp01(est(Query) / est(Calib))
+//
+// i.e. the model supplies the conditional selectivity of the value
+// predicates given that every queried table participates, and the known join
+// size anchors it. The ratio cancels the model's error on the presence
+// (fanout) columns and downscales rows the excluded tables fanned out, so a
+// query with no value predicates returns Exact itself. Legacy two-table and
+// single-table routes leave Calib nil (the estimate is est(Query),
+// unchanged).
+type Resolution struct {
+	Model string
+	Query workload.Query
+	Calib *workload.Query
+	Exact float64
+}
+
+// estimate combines the predicate and calibration estimates into the final
+// cardinality for this resolution.
+func (res Resolution) estimate(pred, calib float64) float64 {
+	if res.Calib == nil {
+		return pred
+	}
+	if len(res.Query.Preds) == len(res.Calib.Preds) {
+		// No value predicates: the answer is the exact join size.
+		return res.Exact
+	}
+	if !(calib > 0) || !(pred > 0) {
+		return 0
+	}
+	ratio := pred / calib
+	if ratio > 1 {
+		ratio = 1
+	}
+	return res.Exact * ratio
+}
+
+// Resolve routes a textual conjunctive expression. target selects a model by
+// name; an empty target falls back to the sole registered model, the model
+// the predicate qualifiers infer, or — for expressions with join clauses —
+// the registered view whose join matches the clause set.
+//
+// Join queries resolve orientation- and order-insensitively: a single clause
+// first against the legacy two-table views, then any clause set against the
+// join-graph views, either exactly (the query's joins are the view's edge
+// set) or as a connected subset of a larger view's edges, in which case the
+// resolution carries the fanout-correction scale. Predicates in join queries
+// must qualify every column with one of the joined base-table names; the
+// router rewrites them through the view's per-table column map and restricts
+// the view to rows where every queried table participates (the NeuroCard-
+// style reduction of join estimation to a single-table query over a full
+// outer join with fanout columns).
+func (r *Registry) Resolve(target, expr string) (Resolution, error) {
 	rq, err := workload.ParseRaw(expr)
+	if err != nil {
+		return Resolution{}, err
+	}
+	if len(rq.Joins) == 0 {
+		name, q, err := r.routeSingle(target, rq)
+		if err != nil {
+			return Resolution{}, err
+		}
+		return Resolution{Model: name, Query: q}, nil
+	}
+	if len(rq.Joins) == 1 {
+		// Legacy two-table views keep first claim on single-clause joins so
+		// existing deployments route bitwise-identically.
+		if name, q, ok, err := r.routeLegacyJoin(target, rq); ok || err != nil {
+			if err != nil {
+				return Resolution{}, err
+			}
+			return Resolution{Model: name, Query: q}, nil
+		}
+	}
+	return r.routeGraph(target, rq)
+}
+
+// Route resolves an expression to (model name, resolved query). It covers
+// every resolution whose estimate is the plain model answer; a join-graph
+// route carries a fanout calibration the pair alone cannot express and is
+// reported as an error — use Resolve, EstimateExpr, or EstimateResolutions
+// for those.
+func (r *Registry) Route(target, expr string) (string, workload.Query, error) {
+	res, err := r.Resolve(target, expr)
 	if err != nil {
 		return "", workload.Query{}, err
 	}
-	switch len(rq.Joins) {
-	case 0:
-		return r.routeSingle(target, rq)
-	case 1:
-		return r.routeJoin(target, rq)
-	default:
-		return "", workload.Query{}, fmt.Errorf("registry: %d join predicates in one query; only single equi-joins are supported", len(rq.Joins))
+	if res.Calib != nil {
+		return "", workload.Query{}, fmt.Errorf("registry: expression resolves to join-graph view %q, whose estimates carry a fanout calibration; use Resolve or EstimateExpr", res.Model)
 	}
+	return res.Model, res.Query, nil
 }
 
 // EstimateExpr routes an expression and answers it with the resolved model,
-// returning the model name alongside the estimate.
+// applying any fanout calibration, and returns the model name alongside the
+// estimate.
 func (r *Registry) EstimateExpr(ctx context.Context, target, expr string) (string, float64, error) {
-	name, q, err := r.Route(target, expr)
+	res, err := r.Resolve(target, expr)
 	if err != nil {
 		return "", 0, err
 	}
-	card, err := r.Estimate(ctx, name, q)
-	return name, card, err
+	if res.Calib == nil {
+		card, err := r.Estimate(ctx, res.Model, res.Query)
+		return res.Model, card, err
+	}
+	got, err := r.EstimateBatch(ctx, res.Model, []workload.Query{res.Query, *res.Calib})
+	if err != nil {
+		return "", 0, err
+	}
+	return res.Model, res.estimate(got[0], got[1]), nil
+}
+
+// EstimateResolutions answers a batch of resolutions, grouping them by model
+// so each backend sees one batched call carrying both the predicate and the
+// calibration queries. The result order matches the input.
+func (r *Registry) EstimateResolutions(ctx context.Context, rs []Resolution) ([]float64, error) {
+	type group struct {
+		qs   []workload.Query
+		pred []int // index into qs of each resolution's predicate query
+		cal  []int // index into qs of each resolution's calibration (-1 none)
+		idx  []int // position in rs
+	}
+	groups := map[string]*group{}
+	for i, res := range rs {
+		g := groups[res.Model]
+		if g == nil {
+			g = &group{}
+			groups[res.Model] = g
+		}
+		g.idx = append(g.idx, i)
+		g.pred = append(g.pred, len(g.qs))
+		g.qs = append(g.qs, res.Query)
+		if res.Calib != nil {
+			g.cal = append(g.cal, len(g.qs))
+			g.qs = append(g.qs, *res.Calib)
+		} else {
+			g.cal = append(g.cal, -1)
+		}
+	}
+	out := make([]float64, len(rs))
+	for name, g := range groups {
+		got, err := r.EstimateBatch(ctx, name, g.qs)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range g.idx {
+			calib := 0.0
+			if g.cal[j] >= 0 {
+				calib = got[g.cal[j]]
+			}
+			out[i] = rs[i].estimate(got[g.pred[j]], calib)
+		}
+	}
+	return out, nil
 }
 
 // routeSingle resolves a join-free expression against a named (or the sole)
 // model. Qualified predicate columns must name the model's base table — or,
 // when the target is a join view, one of its joined tables, in which case
-// they are rewritten onto the view's columns.
+// they are rewritten onto the view's columns (and, for graph views, the view
+// is restricted to rows where the qualified tables participate, matching SQL
+// semantics of predicates over a full outer join).
 func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, workload.Query, error) {
 	name := target
 	if name == "" {
-		name = r.inferTarget(rq)
+		var err error
+		if name, err = r.inferTarget(rq); err != nil {
+			return "", workload.Query{}, err
+		}
 	}
 	if name == "" {
 		var err error
@@ -67,6 +201,7 @@ func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, wor
 		return "", workload.Query{}, fmt.Errorf("registry: unknown model %q", name)
 	}
 	var q workload.Query
+	graphTables := map[string]bool{}
 	for _, rp := range rq.Preds {
 		col := rp.Column
 		switch {
@@ -78,6 +213,13 @@ func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, wor
 				return "", workload.Query{}, err
 			}
 			col = mapped
+		case e.graph != nil:
+			mapped, err := e.graph.mapColumn(rp.Table, rp.Column)
+			if err != nil {
+				return "", workload.Query{}, err
+			}
+			col = mapped
+			graphTables[rp.Table] = true
 		default:
 			return "", workload.Query{}, fmt.Errorf("registry: predicate on %s.%s does not match model %q (table %q)", rp.Table, rp.Column, name, e.table.Name)
 		}
@@ -85,28 +227,45 @@ func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, wor
 		if err != nil {
 			return "", workload.Query{}, err
 		}
-		q.Preds = append(q.Preds, p)
+		if e.graph != nil {
+			q.Preds = e.graph.clampNull(q.Preds, p)
+		} else {
+			q.Preds = append(q.Preds, p)
+		}
+	}
+	if len(graphTables) > 0 {
+		q.Preds = append(q.Preds, e.graph.presencePreds(setKeys(graphTables))...)
 	}
 	r.routed.Add(1)
 	return name, q, nil
 }
 
-// routeJoin resolves an expression with one join clause against the
-// registered join view serving that equi-join.
-func (r *Registry) routeJoin(target string, rq workload.RawQuery) (string, workload.Query, error) {
+// routeLegacyJoin resolves a single join clause against the legacy two-table
+// views. It reports ok=false — with no error — when no legacy view serves the
+// clause, letting the caller fall through to the join-graph views.
+func (r *Registry) routeLegacyJoin(target string, rq workload.RawQuery) (string, workload.Query, bool, error) {
 	clause := rq.Joins[0]
 	r.mu.RLock()
 	name, ok := r.joins[clause.Canonical()]
 	closed := r.closed
 	r.mu.RUnlock()
 	if closed {
-		return "", workload.Query{}, ErrClosed
+		return "", workload.Query{}, false, ErrClosed
 	}
 	if !ok {
-		return "", workload.Query{}, fmt.Errorf("registry: no join view registered for %q; build one with duetserve -build-join or duettrain -join", clause)
+		return "", workload.Query{}, false, nil
 	}
 	if target != "" && target != name {
-		return "", workload.Query{}, fmt.Errorf("registry: model %q does not serve the join %q (view %q does)", target, clause, name)
+		r.mu.RLock()
+		te, tok := r.entries[target]
+		r.mu.RUnlock()
+		if tok && te.graph != nil {
+			// The caller explicitly targeted a join-graph view; fall through
+			// and let the graph router resolve (it checks the target serves
+			// the clause set).
+			return "", workload.Query{}, false, nil
+		}
+		return "", workload.Query{}, false, fmt.Errorf("registry: model %q does not serve the join %q (view %q does)", target, clause, name)
 	}
 	r.mu.RLock()
 	e := r.entries[name]
@@ -114,48 +273,217 @@ func (r *Registry) routeJoin(target string, rq workload.RawQuery) (string, workl
 	var q workload.Query
 	for _, rp := range rq.Preds {
 		if rp.Table == "" {
-			return "", workload.Query{}, fmt.Errorf("registry: predicate on %q in a join query must be qualified with %q or %q", rp.Column, e.join.Left, e.join.Right)
+			return "", workload.Query{}, false, fmt.Errorf("registry: predicate on %q in a join query must be qualified with %q or %q", rp.Column, e.join.Left, e.join.Right)
 		}
 		col, err := e.join.mapColumn(rp.Table, rp.Column)
 		if err != nil {
-			return "", workload.Query{}, err
+			return "", workload.Query{}, false, err
 		}
 		p, err := workload.ResolvePredicate(e.table, col, rp.Op, rp.Lit)
 		if err != nil {
-			return "", workload.Query{}, err
+			return "", workload.Query{}, false, err
 		}
 		q.Preds = append(q.Preds, p)
 	}
 	r.routed.Add(1)
 	r.joinRouted.Add(1)
-	return name, q, nil
+	return name, q, true, nil
+}
+
+// routeGraph resolves a join-clause set against the registered join-graph
+// views: exactly when the set equals a view's edge set, or as a connected
+// subset of the smallest view containing every clause, with fanout
+// correction.
+func (r *Registry) routeGraph(target string, rq workload.RawQuery) (Resolution, error) {
+	clauses := rq.Joins
+	key := workload.JoinSetKey(clauses)
+	qTables := rq.JoinTables()
+
+	r.mu.RLock()
+	closed := r.closed
+	name, exact := r.graphs[key]
+	var v *graphView
+	if exact {
+		v = r.entries[name].graph
+	} else if rq.JoinsConnected() {
+		// Subset match: the smallest view whose edge set contains every
+		// clause (fewest tables, then fewest view rows, then name, so the
+		// choice is deterministic). An explicit target restricts the
+		// candidates to that view.
+		for n, e := range r.entries {
+			g := e.graph
+			if g == nil || (target != "" && n != target) {
+				continue
+			}
+			all := true
+			for _, c := range clauses {
+				if _, ok := g.edges[c.Canonical()]; !ok {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			if v == nil || better(g, n, v, name) {
+				v, name = g, n
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if closed {
+		return Resolution{}, ErrClosed
+	}
+	if v == nil {
+		if target != "" {
+			return Resolution{}, fmt.Errorf("registry: model %q does not serve the join %q", target, key)
+		}
+		if len(clauses) == 1 {
+			return Resolution{}, fmt.Errorf("registry: no join view registered for %q; build one with duetserve -build-join or duettrain -join", clauses[0])
+		}
+		if !rq.JoinsConnected() {
+			return Resolution{}, fmt.Errorf("registry: join clauses %q do not connect into one tree; a single view answers only connected joins", key)
+		}
+		return Resolution{}, fmt.Errorf("registry: no join-graph view serves the clause set %q; build one with duetserve -build-join or duettrain -join over tables %s",
+			key, strings.Join(qTables, ", "))
+	}
+	if target != "" && target != name {
+		return Resolution{}, fmt.Errorf("registry: model %q does not serve the join %q (view %q does)", target, key, name)
+	}
+
+	// Restrict to rows where every queried table participates, then rewrite
+	// the value predicates through the per-table column map. The presence-only
+	// restriction doubles as the calibration query.
+	presence := v.presencePreds(qTables)
+	q := workload.Query{Preds: presence[:len(presence):len(presence)]}
+	inQuery := map[string]bool{}
+	for _, t := range qTables {
+		inQuery[t] = true
+	}
+	for _, rp := range rq.Preds {
+		if rp.Table == "" {
+			return Resolution{}, fmt.Errorf("registry: predicate on %q in a join query must be qualified with one of the joined tables (%s)", rp.Column, strings.Join(qTables, ", "))
+		}
+		if !inQuery[rp.Table] {
+			if v.tables[rp.Table] {
+				return Resolution{}, fmt.Errorf("registry: predicate on %s.%s references a table the query does not join; add its join clause", rp.Table, rp.Column)
+			}
+			return Resolution{}, fmt.Errorf("registry: table %q is not part of the join graph %s", rp.Table, v.spec)
+		}
+		col, err := v.mapColumn(rp.Table, rp.Column)
+		if err != nil {
+			return Resolution{}, err
+		}
+		p, err := workload.ResolvePredicate(v.view, col, rp.Op, rp.Lit)
+		if err != nil {
+			return Resolution{}, err
+		}
+		q.Preds = v.clampNull(q.Preds, p)
+	}
+	exactCard, err := v.exactJoin(clauses, qTables)
+	if err != nil {
+		return Resolution{}, err
+	}
+	r.routed.Add(1)
+	r.joinRouted.Add(1)
+	return Resolution{Model: name, Query: q, Calib: &workload.Query{Preds: presence}, Exact: exactCard}, nil
+}
+
+// better orders candidate subset views: fewer base tables, then fewer view
+// rows, then name.
+func better(g *graphView, gname string, cur *graphView, curName string) bool {
+	if len(g.spec.Tables) != len(cur.spec.Tables) {
+		return len(g.spec.Tables) < len(cur.spec.Tables)
+	}
+	if g.view.NumRows() != cur.view.NumRows() {
+		return g.view.NumRows() < cur.view.NumRows()
+	}
+	return gname < curName
 }
 
 // inferTarget resolves an unnamed target from predicate qualifiers: when
 // every qualified predicate names the same registered model, that model is
-// the target ("orders.amount<=10" needs no explicit model field). Returns ""
-// when the qualifiers are absent, mixed, or unknown.
-func (r *Registry) inferTarget(rq workload.RawQuery) string {
-	qualifier := ""
+// the target ("orders.amount<=10" needs no explicit model field). When the
+// qualifiers match no model but appear in registered join views — one table
+// across several views, or several tables that only a join would relate —
+// the error names the candidate views instead of failing generically.
+func (r *Registry) inferTarget(rq workload.RawQuery) (string, error) {
+	var qualifiers []string
+	seen := map[string]bool{}
 	for _, rp := range rq.Preds {
-		switch {
-		case rp.Table == "":
-			continue
-		case qualifier == "":
-			qualifier = rp.Table
-		case qualifier != rp.Table:
-			return ""
+		if rp.Table != "" && !seen[rp.Table] {
+			seen[rp.Table] = true
+			qualifiers = append(qualifiers, rp.Table)
 		}
 	}
-	if qualifier == "" {
-		return ""
+	if len(qualifiers) == 0 {
+		return "", nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if _, ok := r.entries[qualifier]; ok {
-		return qualifier
+	if len(r.entries) == 1 {
+		// A sole registered model resolves regardless of qualifiers (the
+		// pre-join-graph behavior): routeSingle maps or rejects them against
+		// it with a per-predicate error.
+		return "", nil
 	}
-	return ""
+	if len(qualifiers) == 1 {
+		t := qualifiers[0]
+		if _, ok := r.entries[t]; ok {
+			return t, nil
+		}
+		if views := r.viewsCoveringLocked(qualifiers); len(views) > 0 {
+			return "", fmt.Errorf("registry: predicates qualify %q, which is not a registered model; it is joined by views %s — set one as the model or add its join clause",
+				t, strings.Join(views, ", "))
+		}
+		return "", nil
+	}
+	sort.Strings(qualifiers)
+	views := r.viewsCoveringLocked(qualifiers)
+	if len(views) == 0 {
+		return "", fmt.Errorf("registry: predicates span tables %s but carry no join clause, and no registered join view covers them",
+			strings.Join(qualifiers, ", "))
+	}
+	return "", fmt.Errorf("registry: predicates span tables %s but carry no join clause; candidate views: %s — add the join clause(s) or set the model explicitly",
+		strings.Join(qualifiers, ", "), strings.Join(views, ", "))
+}
+
+// viewsCoveringLocked lists, sorted, the join views whose base tables include
+// every given table. Callers hold r.mu.
+func (r *Registry) viewsCoveringLocked(tables []string) []string {
+	var out []string
+	for name, e := range r.entries {
+		covers := func(t string) bool {
+			switch {
+			case e.join != nil:
+				return e.join.Left == t || e.join.Right == t
+			case e.graph != nil:
+				return e.graph.tables[t]
+			default:
+				return false
+			}
+		}
+		all := e.join != nil || e.graph != nil
+		for _, t := range tables {
+			if !covers(t) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, fmt.Sprintf("%s (%s)", name, joinDesc(e)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// joinDesc renders the join a view serves, for error messages.
+func joinDesc(e *entry) string {
+	if e.join != nil {
+		return e.join.String()
+	}
+	return e.graph.key
 }
 
 // soleModel returns the single registered model name, or an error telling
@@ -175,12 +503,23 @@ func (r *Registry) soleModel() (string, error) {
 	for n := range r.entries {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return "", fmt.Errorf("registry: %d models registered (%s); specify one", len(r.entries), strings.Join(names, ", "))
 }
 
-// mapColumn rewrites a base-table-qualified column onto the join view's
-// materialized columns: left columns get the l_ prefix, right columns the
-// r_ prefix, and the right join key — which EquiJoin deduplicates away —
+// setKeys returns a map's keys sorted.
+func setKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapColumn rewrites a base-table-qualified column onto the legacy join
+// view's materialized columns: left columns get the l_ prefix, right columns
+// the r_ prefix, and the right join key — which EquiJoin deduplicates away —
 // maps to the surviving l_<LeftCol>.
 func (s *JoinSpec) mapColumn(table, column string) (string, error) {
 	switch table {

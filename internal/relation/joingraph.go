@@ -1,0 +1,377 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// JoinEdge is one equi-join condition between two named tables:
+// LeftTable.LeftCol = RightTable.RightCol. Edges are symmetric; the
+// materialization orients them away from the first table of the graph.
+type JoinEdge struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+}
+
+func (e JoinEdge) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", e.LeftTable, e.LeftCol, e.RightTable, e.RightCol)
+}
+
+// JoinGraph describes an N-way join as a tree of equi-join edges over named
+// base tables. Exactly len(Tables)-1 edges must connect every table (a
+// spanning tree), which is the shape star and chain schemas — and the JOB
+// benchmark's queries — take.
+type JoinGraph struct {
+	Tables []*Table
+	Edges  []JoinEdge
+}
+
+// treeEdge is one validated edge oriented parent -> child in BFS order from
+// the root (Tables[0]).
+type treeEdge struct {
+	parent, child       int // table indices
+	parentCol, childCol int // column indices
+}
+
+// JoinViewColumn names the materialized view column holding base column col
+// of base table table: "<table>_<col>". The registry's per-table column map
+// rewrites qualified query predicates through it.
+func JoinViewColumn(table, col string) string { return table + "_" + col }
+
+// FanoutColumn names the per-base-table fanout column of a materialized join
+// view. For the root table its value is 1 when the table participates in the
+// row and 0 otherwise; for every other table it is the number of its rows
+// matching the row's parent key (0 when absent, and 1 for dangling rows the
+// full outer join preserves). "table present in row" is exactly
+// "fanout >= 1", which is how the router restricts to inner-join rows.
+func FanoutColumn(table string) string { return "__fanout_" + table }
+
+// validate checks the graph is a spanning tree over typed, existing columns
+// and returns its edges oriented away from Tables[0] in BFS order.
+func (g *JoinGraph) validate() ([]treeEdge, error) {
+	if len(g.Tables) < 2 {
+		return nil, fmt.Errorf("relation: join graph needs at least 2 tables, got %d", len(g.Tables))
+	}
+	idx := make(map[string]int, len(g.Tables))
+	for i, t := range g.Tables {
+		if t.Name == "" {
+			return nil, fmt.Errorf("relation: join graph table %d has no name", i)
+		}
+		if _, dup := idx[t.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate table %q in join graph", t.Name)
+		}
+		idx[t.Name] = i
+	}
+	if len(g.Edges) != len(g.Tables)-1 {
+		return nil, fmt.Errorf("relation: join graph over %d tables needs %d edges (a spanning tree), got %d",
+			len(g.Tables), len(g.Tables)-1, len(g.Edges))
+	}
+	// Adjacency with column indices, validating each edge.
+	type half struct{ other, ownCol, otherCol int }
+	adj := make([][]half, len(g.Tables))
+	for _, e := range g.Edges {
+		li, lok := idx[e.LeftTable]
+		ri, rok := idx[e.RightTable]
+		if !lok || !rok {
+			return nil, fmt.Errorf("relation: join edge %s references a table outside the graph", e)
+		}
+		if li == ri {
+			return nil, fmt.Errorf("relation: join edge %s relates a table to itself", e)
+		}
+		lc := g.Tables[li].ColumnIndex(e.LeftCol)
+		rc := g.Tables[ri].ColumnIndex(e.RightCol)
+		if lc < 0 || rc < 0 {
+			return nil, fmt.Errorf("relation: join columns %q/%q not found for edge %s", e.LeftCol, e.RightCol, e)
+		}
+		if g.Tables[li].Cols[lc].Kind != g.Tables[ri].Cols[rc].Kind {
+			return nil, fmt.Errorf("relation: join column kinds differ for edge %s: %v vs %v",
+				e, g.Tables[li].Cols[lc].Kind, g.Tables[ri].Cols[rc].Kind)
+		}
+		adj[li] = append(adj[li], half{ri, lc, rc})
+		adj[ri] = append(adj[ri], half{li, rc, lc})
+	}
+	// BFS from the root; with exactly n-1 edges, reaching every table proves
+	// the edge set is a spanning tree.
+	seen := make([]bool, len(g.Tables))
+	seen[0] = true
+	queue := []int{0}
+	var tree []treeEdge
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, h := range adj[p] {
+			if seen[h.other] {
+				continue
+			}
+			seen[h.other] = true
+			tree = append(tree, treeEdge{parent: p, child: h.other, parentCol: h.ownCol, childCol: h.otherCol})
+			queue = append(queue, h.other)
+		}
+	}
+	if len(tree) != len(g.Tables)-1 {
+		var missing []string
+		for i, s := range seen {
+			if !s {
+				missing = append(missing, g.Tables[i].Name)
+			}
+		}
+		return nil, fmt.Errorf("relation: join graph is not connected (unreachable: %v)", missing)
+	}
+	return tree, nil
+}
+
+// MultiJoin materializes the full outer join of the graph's tables along its
+// edge tree, NeuroCard-style. Every base row of every table appears in the
+// result at least once: matched rows combine, unmatched rows survive padded
+// with a NULL sentinel on the other tables' columns. Each base table T
+// contributes its columns as "<T>_<col>" plus a fanout column
+// FanoutColumn(T); restricting to rows with every fanout >= 1 recovers
+// exactly the inner join of the full graph, and downscaling subset queries by
+// fanout recovers inner-join cardinalities over any subtree (the registry's
+// fanout correction), instead of relying on an inner-join materialization
+// being the query's join.
+//
+// NULL sentinels are appended at the end of the affected column's sorted
+// dictionary (greater than every real value), so every real-value range
+// predicate can exclude them with one extra "< sentinel" bound.
+func MultiJoin(name string, g *JoinGraph) (*Table, error) {
+	tree, err := g.validate()
+	if err != nil {
+		return nil, err
+	}
+	nt := len(g.Tables)
+	// State: one row assignment per result row (-1 = table absent), plus the
+	// per-table fanout of each row. Seeded with every root row.
+	root := g.Tables[0]
+	asg := make([][]int32, 0, root.NumRows())
+	fan := make([][]int32, 0, root.NumRows())
+	for r := 0; r < root.NumRows(); r++ {
+		a := make([]int32, nt)
+		for i := range a {
+			a[i] = -1
+		}
+		a[0] = int32(r)
+		asg = append(asg, a)
+		fan = append(fan, make([]int32, nt))
+	}
+	for _, te := range tree {
+		parent, child := g.Tables[te.parent], g.Tables[te.child]
+		pc, cc := parent.Cols[te.parentCol], child.Cols[te.childCol]
+		// Hash the child side by raw key value.
+		matches := make(map[string][]int32, cc.NumDistinct())
+		for r := 0; r < child.NumRows(); r++ {
+			k := cc.ValueString(cc.Codes[r])
+			matches[k] = append(matches[k], int32(r))
+		}
+		// Keys present anywhere in the parent base table; by induction every
+		// parent base row is in the state, so a child key outside this set is
+		// dangling and must be preserved by the outer join.
+		parentKeys := make(map[string]bool, pc.NumDistinct())
+		for r := 0; r < parent.NumRows(); r++ {
+			parentKeys[pc.ValueString(pc.Codes[r])] = true
+		}
+		nextAsg := make([][]int32, 0, len(asg))
+		nextFan := make([][]int32, 0, len(fan))
+		for i, a := range asg {
+			if a[te.parent] < 0 {
+				nextAsg = append(nextAsg, a)
+				nextFan = append(nextFan, fan[i])
+				continue
+			}
+			ms := matches[pc.ValueString(pc.Codes[a[te.parent]])]
+			if len(ms) == 0 {
+				nextAsg = append(nextAsg, a)
+				nextFan = append(nextFan, fan[i])
+				continue
+			}
+			for _, m := range ms {
+				na := append([]int32(nil), a...)
+				nf := append([]int32(nil), fan[i]...)
+				na[te.child] = m
+				nf[te.child] = int32(len(ms))
+				nextAsg = append(nextAsg, na)
+				nextFan = append(nextFan, nf)
+			}
+		}
+		// Dangling child rows: no parent anywhere, preserved alone.
+		for r := 0; r < child.NumRows(); r++ {
+			if parentKeys[cc.ValueString(cc.Codes[r])] {
+				continue
+			}
+			a := make([]int32, nt)
+			for i := range a {
+				a[i] = -1
+			}
+			a[te.child] = int32(r)
+			f := make([]int32, nt)
+			f[te.child] = 1
+			nextAsg = append(nextAsg, a)
+			nextFan = append(nextFan, f)
+		}
+		asg, fan = nextAsg, nextFan
+	}
+	// The root's fanout is its presence indicator.
+	for i, a := range asg {
+		if a[0] >= 0 {
+			fan[i][0] = 1
+		}
+	}
+
+	// Materialize: per table, its value columns (with a NULL sentinel when any
+	// row misses the table) followed by its fanout column.
+	cols := make([]*Column, 0, nt)
+	names := make(map[string]bool)
+	tableNames := make([]string, nt)
+	for i, t := range g.Tables {
+		tableNames[i] = t.Name
+	}
+	for ti, t := range g.Tables {
+		absent := false
+		for _, a := range asg {
+			if a[ti] < 0 {
+				absent = true
+				break
+			}
+		}
+		for _, src := range t.Cols {
+			cn := JoinViewColumn(t.Name, src.Name)
+			if names[cn] {
+				return nil, fmt.Errorf("relation: join view column %q collides; rename table or column", cn)
+			}
+			// The "<table>_<col>" name must identify its owning table
+			// unambiguously, or predicate rewriting could resolve a
+			// qualified column against the wrong table.
+			for _, other := range tableNames {
+				if other != t.Name && strings.HasPrefix(cn, JoinViewColumn(other, "")) {
+					return nil, fmt.Errorf("relation: join view column %q is ambiguous between tables %q and %q; rename table or column", cn, t.Name, other)
+				}
+			}
+			names[cn] = true
+			out, err := projectWithNull(cn, src, asg, ti, absent)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, out)
+		}
+		fn := FanoutColumn(t.Name)
+		if names[fn] {
+			return nil, fmt.Errorf("relation: join view column %q collides; rename table or column", fn)
+		}
+		names[fn] = true
+		fv := make([]int64, len(fan))
+		for i := range fan {
+			fv[i] = int64(fan[i][ti])
+		}
+		cols = append(cols, NewIntColumn(fn, fv))
+	}
+	return NewTable(name, cols), nil
+}
+
+// projectWithNull projects src onto the result rows' assignments for table
+// ti. Every base row survives a full outer join, so the dictionary is the
+// source dictionary unchanged — plus, when some result row misses the table,
+// a NULL sentinel appended past the greatest real value.
+func projectWithNull(name string, src *Column, asg [][]int32, ti int, withNull bool) (*Column, error) {
+	ndv := src.NumDistinct()
+	out := &Column{Name: name, Kind: src.Kind, Codes: make([]int32, len(asg))}
+	switch src.Kind {
+	case KindInt:
+		out.Ints = append(make([]int64, 0, ndv+1), src.Ints...)
+	case KindFloat:
+		out.Floats = append(make([]float64, 0, ndv+1), src.Floats...)
+	case KindString:
+		out.Strs = append(make([]string, 0, ndv+1), src.Strs...)
+	}
+	if withNull {
+		switch src.Kind {
+		case KindInt:
+			s := int64(0)
+			if ndv > 0 {
+				s = src.Ints[ndv-1] + 1
+				if s <= src.Ints[ndv-1] {
+					return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %d in column %q", src.Ints[ndv-1], name)
+				}
+			}
+			out.Ints = append(out.Ints, s)
+		case KindFloat:
+			s := 0.0
+			if ndv > 0 {
+				mx := src.Floats[ndv-1]
+				s = mx + 1
+				if !(s > mx) {
+					s = math.Nextafter(mx, math.MaxFloat64)
+				}
+				if !(s > mx) {
+					return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %g in column %q", mx, name)
+				}
+			}
+			out.Floats = append(out.Floats, s)
+		case KindString:
+			s := ""
+			if ndv > 0 {
+				s = src.Strs[ndv-1] + "\x01"
+			}
+			out.Strs = append(out.Strs, s)
+		}
+	}
+	null := int32(ndv)
+	for i, a := range asg {
+		if a[ti] < 0 {
+			out.Codes[i] = null
+		} else {
+			out.Codes[i] = src.Codes[a[ti]]
+		}
+	}
+	return out, nil
+}
+
+// MultiJoinCardinality returns the exact inner-join size of the graph
+// without materializing it, by dynamic programming up the edge tree: each
+// node aggregates, per join-key value, the number of inner-join combinations
+// its subtree produces. It generalizes JoinCardinality to N-way joins and is
+// the ground-truth oracle behind the registry's fanout correction.
+func MultiJoinCardinality(g *JoinGraph) (int64, error) {
+	tree, err := g.validate()
+	if err != nil {
+		return 0, err
+	}
+	// children[p] lists (child, colOnParent, colOnChild) in tree order;
+	// processing tree edges in reverse visits every child before its parent.
+	children := make([][]treeEdge, len(g.Tables))
+	for _, te := range tree {
+		children[te.parent] = append(children[te.parent], te)
+	}
+	// weight[c] maps a child's join-key value to the number of inner-join
+	// combinations its subtree contributes for that key.
+	weight := make([]map[string]int64, len(g.Tables))
+	rowWeight := func(ti int, r int) int64 {
+		w := int64(1)
+		t := g.Tables[ti]
+		for _, te := range children[ti] {
+			key := t.Cols[te.parentCol].ValueString(t.Cols[te.parentCol].Codes[r])
+			w *= weight[te.child][key]
+			if w == 0 {
+				return 0
+			}
+		}
+		return w
+	}
+	for i := len(tree) - 1; i >= 0; i-- {
+		te := tree[i]
+		child := g.Tables[te.child]
+		cc := child.Cols[te.childCol]
+		m := make(map[string]int64, cc.NumDistinct())
+		for r := 0; r < child.NumRows(); r++ {
+			if w := rowWeight(te.child, r); w != 0 {
+				m[cc.ValueString(cc.Codes[r])] += w
+			}
+		}
+		weight[te.child] = m
+	}
+	var total int64
+	for r := 0; r < g.Tables[0].NumRows(); r++ {
+		total += rowWeight(0, r)
+	}
+	return total, nil
+}

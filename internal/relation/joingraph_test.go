@@ -1,0 +1,267 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainTables builds a small orders -> customers -> regions chain with
+// dangling rows on every side so the full outer join is exercised.
+func chainTables() (orders, customers, regions *Table) {
+	// customers: ids 1..4; customer 4 has no orders, region 9 is unknown.
+	customers = NewTable("customers", []*Column{
+		NewIntColumn("id", []int64{1, 2, 3, 4}),
+		NewIntColumn("region_id", []int64{10, 11, 10, 9}),
+	})
+	// orders: cust_id 5 matches no customer (dangling order).
+	orders = NewTable("orders", []*Column{
+		NewIntColumn("cust_id", []int64{1, 1, 2, 3, 5}),
+		NewIntColumn("amount", []int64{7, 8, 7, 9, 6}),
+	})
+	// regions: region 12 has no customers (dangling region).
+	regions = NewTable("regions", []*Column{
+		NewIntColumn("region_id", []int64{10, 11, 12}),
+		NewIntColumn("pop", []int64{100, 200, 300}),
+	})
+	return orders, customers, regions
+}
+
+func chainGraph(orders, customers, regions *Table) *JoinGraph {
+	return &JoinGraph{
+		Tables: []*Table{orders, customers, regions},
+		Edges: []JoinEdge{
+			{"orders", "cust_id", "customers", "id"},
+			{"customers", "region_id", "regions", "region_id"},
+		},
+	}
+}
+
+// bruteChainInner counts the 3-way inner join by nested hash joins on raw
+// values, independently of MultiJoin.
+func bruteChainInner(orders, customers, regions *Table) int64 {
+	regByID := map[int64]int64{}
+	for r := 0; r < regions.NumRows(); r++ {
+		regByID[regions.Cols[0].Ints[regions.Cols[0].Codes[r]]]++
+	}
+	custByID := map[int64]int64{}
+	for r := 0; r < customers.NumRows(); r++ {
+		id := customers.Cols[0].Ints[customers.Cols[0].Codes[r]]
+		reg := customers.Cols[1].Ints[customers.Cols[1].Codes[r]]
+		custByID[id] += regByID[reg]
+	}
+	var total int64
+	for r := 0; r < orders.NumRows(); r++ {
+		total += custByID[orders.Cols[0].Ints[orders.Cols[0].Codes[r]]]
+	}
+	return total
+}
+
+func TestMultiJoinChain(t *testing.T) {
+	orders, customers, regions := chainTables()
+	g := chainGraph(orders, customers, regions)
+	joined, err := MultiJoin("ocr", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected full outer join by hand: orders 1,1,2,3 match customers 1,2,3
+	// which match regions 10,11,10 -> 4 fully joined rows. Order with
+	// cust_id=5 survives alone among orders; customer 4 survives with region
+	// NULL (its region 9 is unknown); region 12 survives alone.
+	// Rows: 4 (inner) + 1 (dangling order) + 1 (customer 4) + 1 (region 12).
+	if got := joined.NumRows(); got != 7 {
+		t.Fatalf("FOJ rows = %d, want 7", got)
+	}
+
+	// Columns: per table its source columns then its fanout column.
+	wantCols := []string{
+		"orders_cust_id", "orders_amount", "__fanout_orders",
+		"customers_id", "customers_region_id", "__fanout_customers",
+		"regions_region_id", "regions_pop", "__fanout_regions",
+	}
+	if joined.NumCols() != len(wantCols) {
+		t.Fatalf("got %d columns", joined.NumCols())
+	}
+	for i, w := range wantCols {
+		if joined.Cols[i].Name != w {
+			t.Fatalf("column %d = %q, want %q", i, joined.Cols[i].Name, w)
+		}
+	}
+
+	// Inner-join recovery: rows where every fanout >= 1 must match both the
+	// DP cardinality and the brute-force hash join.
+	want := bruteChainInner(orders, customers, regions)
+	dp, err := MultiJoinCardinality(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp != want {
+		t.Fatalf("MultiJoinCardinality = %d, brute force = %d", dp, want)
+	}
+	var inner int64
+	fanIdx := []int{joined.ColumnIndex("__fanout_orders"), joined.ColumnIndex("__fanout_customers"), joined.ColumnIndex("__fanout_regions")}
+	for r := 0; r < joined.NumRows(); r++ {
+		all := true
+		for _, fi := range fanIdx {
+			c := joined.Cols[fi]
+			if c.Ints[c.Codes[r]] < 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			inner++
+		}
+	}
+	if inner != want {
+		t.Fatalf("all-fanout>=1 rows = %d, want inner join %d", inner, want)
+	}
+
+	// Every base row survives: each base value multiset must appear.
+	amount := joined.Cols[joined.ColumnIndex("orders_amount")]
+	seen := map[int64]int{}
+	foOrders := joined.Cols[fanIdx[0]]
+	for r := 0; r < joined.NumRows(); r++ {
+		if foOrders.Ints[foOrders.Codes[r]] >= 1 {
+			seen[amount.Ints[amount.Codes[r]]]++
+		}
+	}
+	for _, a := range []int64{6, 7, 8, 9} {
+		if seen[a] == 0 {
+			t.Fatalf("order amount %d lost by the outer join", a)
+		}
+	}
+
+	// NULL sentinels sort past every real value: customers_id has max 4, so
+	// its sentinel is 5 and absent rows carry the last code.
+	cid := joined.Cols[joined.ColumnIndex("customers_id")]
+	if got := cid.Ints[cid.NumDistinct()-1]; got != 5 {
+		t.Fatalf("customers_id NULL sentinel = %d, want 5", got)
+	}
+}
+
+func TestMultiJoinStarMatchesDP(t *testing.T) {
+	// Star: fact in the middle, two dimensions, generated with skew so
+	// fanouts vary.
+	dimA := Generate(SynConfig{Name: "da", Rows: 60, Seed: 3, Cols: []ColSpec{
+		{Name: "k", NDV: 40, Skew: 0.5, Parent: -1},
+		{Name: "x", NDV: 8, Skew: 1.0, Parent: 0, Noise: 0.2},
+	}})
+	dimB := Generate(SynConfig{Name: "db", Rows: 50, Seed: 4, Cols: []ColSpec{
+		{Name: "k", NDV: 30, Skew: 0.8, Parent: -1},
+		{Name: "y", NDV: 6, Skew: 1.2, Parent: 0, Noise: 0.2},
+	}})
+	fact := Generate(SynConfig{Name: "fact", Rows: 200, Seed: 5, Cols: []ColSpec{
+		{Name: "a_k", NDV: 45, Skew: 1.1, Parent: -1},
+		{Name: "b_k", NDV: 35, Skew: 1.3, Parent: -1},
+	}})
+	g := &JoinGraph{
+		Tables: []*Table{fact, dimA, dimB},
+		Edges: []JoinEdge{
+			{"fact", "a_k", "da", "k"},
+			{"fact", "b_k", "db", "k"},
+		},
+	}
+	joined, err := MultiJoin("star", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := MultiJoinCardinality(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner int64
+	fanCols := []*Column{
+		joined.Cols[joined.ColumnIndex(FanoutColumn("fact"))],
+		joined.Cols[joined.ColumnIndex(FanoutColumn("da"))],
+		joined.Cols[joined.ColumnIndex(FanoutColumn("db"))],
+	}
+	for r := 0; r < joined.NumRows(); r++ {
+		all := true
+		for _, c := range fanCols {
+			if c.Ints[c.Codes[r]] < 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			inner++
+		}
+	}
+	if inner != dp {
+		t.Fatalf("star inner rows %d != DP cardinality %d", inner, dp)
+	}
+	// Pairwise consistency: the 2-table DP must agree with JoinCardinality.
+	pair := &JoinGraph{Tables: []*Table{fact, dimA}, Edges: []JoinEdge{{"fact", "a_k", "da", "k"}}}
+	dp2, err := MultiJoinCardinality(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := JoinCardinality(fact, "a_k", dimA, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp2 != legacy {
+		t.Fatalf("2-way DP %d != JoinCardinality %d", dp2, legacy)
+	}
+}
+
+func TestJoinGraphValidation(t *testing.T) {
+	orders, customers, regions := chainTables()
+	for _, tc := range []struct {
+		name string
+		g    *JoinGraph
+		want string
+	}{
+		{"one table", &JoinGraph{Tables: []*Table{orders}}, "at least 2 tables"},
+		{"missing edge", &JoinGraph{Tables: []*Table{orders, customers, regions},
+			Edges: []JoinEdge{{"orders", "cust_id", "customers", "id"}}}, "spanning tree"},
+		{"cycle", &JoinGraph{Tables: []*Table{orders, customers},
+			Edges: []JoinEdge{{"orders", "cust_id", "customers", "id"}, {"orders", "amount", "customers", "region_id"}}}, "spanning tree"},
+		{"disconnected", &JoinGraph{Tables: []*Table{orders, customers, regions},
+			Edges: []JoinEdge{{"orders", "cust_id", "customers", "id"}, {"customers", "id", "orders", "amount"}}}, "not connected"},
+		{"unknown table", &JoinGraph{Tables: []*Table{orders, customers},
+			Edges: []JoinEdge{{"orders", "cust_id", "nope", "id"}}}, "outside the graph"},
+		{"unknown column", &JoinGraph{Tables: []*Table{orders, customers},
+			Edges: []JoinEdge{{"orders", "bogus", "customers", "id"}}}, "not found"},
+		{"self join", &JoinGraph{Tables: []*Table{orders, customers},
+			Edges: []JoinEdge{{"orders", "cust_id", "orders", "amount"}}}, "to itself"},
+	} {
+		if _, err := MultiJoin("x", tc.g); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: MultiJoin err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Kind mismatch through a string column.
+	s := NewTable("s", []*Column{NewStringColumn("k", []string{"1", "2"})})
+	g := &JoinGraph{Tables: []*Table{orders, s}, Edges: []JoinEdge{{"orders", "cust_id", "s", "k"}}}
+	if _, err := MultiJoin("x", g); err == nil || !strings.Contains(err.Error(), "kinds differ") {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+}
+
+// TestMultiJoinMatchesEquiJoinInner: restricting the 2-table FOJ to rows with
+// both fanouts >= 1 yields exactly as many rows as the legacy inner EquiJoin.
+func TestMultiJoinMatchesEquiJoinInner(t *testing.T) {
+	orders, customers, _ := chainTables()
+	inner, err := EquiJoin("oc", orders, "cust_id", customers, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &JoinGraph{Tables: []*Table{orders, customers},
+		Edges: []JoinEdge{{"orders", "cust_id", "customers", "id"}}}
+	foj, err := MultiJoin("oc_foj", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := foj.Cols[foj.ColumnIndex(FanoutColumn("orders"))]
+	fc := foj.Cols[foj.ColumnIndex(FanoutColumn("customers"))]
+	var n int
+	for r := 0; r < foj.NumRows(); r++ {
+		if fo.Ints[fo.Codes[r]] >= 1 && fc.Ints[fc.Codes[r]] >= 1 {
+			n++
+		}
+	}
+	if n != inner.NumRows() {
+		t.Fatalf("FOJ inner rows %d != EquiJoin rows %d", n, inner.NumRows())
+	}
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -47,6 +48,68 @@ func (j JoinClause) Canonical() JoinClause {
 
 func (j JoinClause) String() string {
 	return fmt.Sprintf("%s.%s = %s.%s", j.LeftTable, j.LeftCol, j.RightTable, j.RightCol)
+}
+
+// JoinSetKey renders a set of join clauses as one canonical string:
+// each clause canonicalized, the set sorted. Two clause sets describing the
+// same multi-way join — any orientation, any order — produce the same key,
+// which is how the registry matches a query's join set against a registered
+// join-graph view's edge set.
+func JoinSetKey(clauses []JoinClause) string {
+	parts := make([]string, len(clauses))
+	for i, c := range clauses {
+		parts[i] = c.Canonical().String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " AND ")
+}
+
+// JoinTables returns the distinct table names referenced by the query's join
+// clauses, sorted.
+func (rq RawQuery) JoinTables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, j := range rq.Joins {
+		for _, t := range []string{j.LeftTable, j.RightTable} {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinsConnected reports whether the query's join clauses form one connected
+// graph over their tables. A disconnected clause set describes a cross
+// product of independent joins, which no tree-shaped join view serves.
+func (rq RawQuery) JoinsConnected() bool {
+	if len(rq.Joins) == 0 {
+		return false
+	}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, j := range rq.Joins {
+		for _, t := range []string{j.LeftTable, j.RightTable} {
+			if _, ok := parent[t]; !ok {
+				parent[t] = t
+			}
+		}
+		parent[find(j.LeftTable)] = find(j.RightTable)
+	}
+	roots := map[string]bool{}
+	for t := range parent {
+		roots[find(t)] = true
+	}
+	return len(roots) == 1
 }
 
 // RawQuery is the structural parse of a conjunctive expression: zero or more

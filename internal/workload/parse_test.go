@@ -246,6 +246,55 @@ func TestParseRawJoinSyntax(t *testing.T) {
 	}
 }
 
+func TestParseMultiJoinClauseSets(t *testing.T) {
+	// A 3-table chain carries two join clauses plus predicates.
+	rq, err := ParseRaw("orders.cust_id = customers.id AND customers.region_id = regions.id AND orders.amount<=10 AND regions.pop>100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rq.Joins) != 2 || len(rq.Preds) != 2 {
+		t.Fatalf("chain parse: %+v", rq)
+	}
+	if got := rq.JoinTables(); len(got) != 3 || got[0] != "customers" || got[1] != "orders" || got[2] != "regions" {
+		t.Fatalf("JoinTables = %v", got)
+	}
+	if !rq.JoinsConnected() {
+		t.Fatal("chain clauses reported disconnected")
+	}
+
+	// JoinSetKey is orientation- and order-insensitive.
+	a, _ := ParseRaw("orders.cust_id = customers.id AND customers.region_id = regions.id")
+	b, _ := ParseRaw("regions.id = customers.region_id AND customers.id = orders.cust_id")
+	if JoinSetKey(a.Joins) != JoinSetKey(b.Joins) {
+		t.Fatalf("set keys differ: %q vs %q", JoinSetKey(a.Joins), JoinSetKey(b.Joins))
+	}
+	c, _ := ParseRaw("orders.cust_id = customers.id")
+	if JoinSetKey(a.Joins) == JoinSetKey(c.Joins) {
+		t.Fatal("different clause sets share a key")
+	}
+
+	// A star over 4 tables parses with three clauses.
+	star, err := ParseRaw("f.a = da.k AND f.b = db.k AND f.c = dc.k AND f.m>1")
+	if err != nil || len(star.Joins) != 3 || len(star.Preds) != 1 {
+		t.Fatalf("star parse: %+v %v", star, err)
+	}
+	if !star.JoinsConnected() {
+		t.Fatal("star clauses reported disconnected")
+	}
+
+	// Disconnected clause pairs (a cross product of two joins) are detected.
+	x, err := ParseRaw("a.x = b.y AND c.z = d.w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.JoinsConnected() {
+		t.Fatal("disconnected clauses reported connected")
+	}
+	if none, _ := ParseRaw("m>1"); none.JoinsConnected() {
+		t.Fatal("join-free query reported connected")
+	}
+}
+
 func TestParseQuotedAndKeepsQuotes(t *testing.T) {
 	tbl := relation.NewTable("t", []*relation.Column{
 		relation.NewStringColumn("s", []string{"x AND y", "z"}),
