@@ -11,15 +11,17 @@
 // full (closest to the paper's sizes).
 //
 // -json runs the perf experiment and writes a machine-readable snapshot
-// (queries/second sequential vs batched vs cached, training throughput, and
-// the Q-Error summary on both paper workloads); CI uploads it as an artifact
-// so the performance trajectory is tracked per commit.
+// (queries/second sequential vs batched vs cached, training throughput, the
+// Q-Error summary on both paper workloads, and the sampled join-build
+// figures join_build_tuples_per_s / join_peak_alloc_bytes from the "joins"
+// experiment); CI uploads it as an artifact so the performance trajectory is
+// tracked per commit.
 //
 // -baseline activates the trend gate: the fresh snapshot is compared against
 // the committed baseline report and the run exits non-zero when any
 // throughput metric regressed by more than -max-regress (default 30%):
 //
-//	duetbench -json BENCH_NEW.json -baseline BENCH_PR2.json -scale tiny
+//	duetbench -json BENCH_NEW.json -baseline BENCH_PR4.json -scale tiny
 package main
 
 import (

@@ -89,6 +89,14 @@ type ModelSpec struct {
 // an N-table join tree with per-base-table fanout columns
 // (relation.MultiJoin); the router answers any connected subset of its edges
 // with fanout-corrected estimates. The two forms are mutually exclusive.
+//
+// A join-graph entry with "sample": N switches to sampled materialization:
+// instead of the full outer join, N rows are drawn uniformly from it
+// (identical column layout and dictionaries, so existing weight files keep
+// loading), the in-process training streams fresh draws, and the registry
+// anchors every estimate on exact base-table join cardinalities. Use it when
+// the join is too large to materialize; the sample draw is deterministic
+// (seed 1), so restarts rebuild the same table.
 type JoinViewSpec struct {
 	Name string `json:"name"`
 	// Legacy two-table form.
@@ -97,9 +105,11 @@ type JoinViewSpec struct {
 	Right    string `json:"right,omitempty"`
 	RightCol string `json:"right_col,omitempty"`
 	// Join-graph form: tables[0] roots the tree; edges must connect every
-	// table (len(tables)-1 of them).
+	// table (len(tables)-1 of them). Sample > 0 selects sampled
+	// materialization with that budget.
 	Tables []string            `json:"tables,omitempty"`
 	Edges  []duet.JoinEdgeSpec `json:"edges,omitempty"`
+	Sample int                 `json:"sample,omitempty"`
 
 	Model string `json:"model,omitempty"`
 	// TrainEpochs trains the join model in-process when no weights file
@@ -142,6 +152,9 @@ func loadManifest(path string) (*Manifest, error) {
 			return nil, fmt.Errorf("manifest %s: join view needs a fresh name, got %q", path, js.Name)
 		}
 		names[js.Name] = true
+		if js.Sample < 0 {
+			return nil, fmt.Errorf("manifest %s: join %q sample budget must be >= 0, got %d", path, js.Name, js.Sample)
+		}
 		if js.graph() {
 			if js.Left != "" || js.Right != "" || js.LeftCol != "" || js.RightCol != "" {
 				return nil, fmt.Errorf("manifest %s: join %q mixes the two-table form with tables/edges", path, js.Name)
@@ -156,6 +169,9 @@ func loadManifest(path string) (*Manifest, error) {
 				}
 			}
 			continue
+		}
+		if js.Sample > 0 {
+			return nil, fmt.Errorf("manifest %s: join %q: \"sample\" applies only to the join-graph form (tables/edges); the two-table form materializes an inner equi-join and cannot be sampled", path, js.Name)
 		}
 		if !names[js.Left] || !names[js.Right] {
 			return nil, fmt.Errorf("manifest %s: join %q references unknown tables %q/%q", path, js.Name, js.Left, js.Right)
@@ -215,9 +231,11 @@ func modelConfig(large bool) duet.Config {
 
 // ensureModel returns weights for a table: loaded from path when the file
 // exists, otherwise trained data-only for epochs and saved to path (when
-// persist is set) so later runs and hot reload have a file to watch.
-// It reports whether the returned model is file-backed.
-func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool) (*duet.Model, bool, error) {
+// persist is set) so later runs and hot reload have a file to watch. A
+// non-nil src streams the training tuples (the sampled join path) instead
+// of reading table rows. It reports whether the returned model is
+// file-backed.
+func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool, src duet.TupleSource) (*duet.Model, bool, error) {
 	if f, err := os.Open(path); err == nil {
 		defer f.Close()
 		m, err := duet.LoadModel(f, tbl)
@@ -233,6 +251,10 @@ func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool) 
 		tc := duet.DefaultTrainConfig()
 		tc.Epochs = epochs
 		tc.Lambda = 0
+		if src != nil {
+			tc.Source = src
+			tc.SourceRows = tbl.NumRows()
+		}
 		duet.Train(m, tc)
 	} else {
 		log.Printf("%s: serving an untrained model", tbl.Name)
@@ -283,7 +305,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(modelDir, path)
 		}
-		m, fileBacked, err := ensureModel(tbl, path, epochsOrDefault(ms.TrainEpochs), ms.Large, true)
+		m, fileBacked, err := ensureModel(tbl, path, epochsOrDefault(ms.TrainEpochs), ms.Large, true, nil)
 		if err != nil {
 			return fmt.Errorf("model %q: %w", ms.Name, err)
 		}
@@ -296,7 +318,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		}
 	}
 	for _, js := range man.Joins {
-		joined, opts, err := js.materialize(tables)
+		joined, opts, src, err := js.materialize(tables)
 		if err != nil {
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
@@ -315,7 +337,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 				return err
 			}
 		}
-		m, fileBacked, err := ensureModel(joined, path, epochsOrDefault(js.TrainEpochs), js.Large, true)
+		m, fileBacked, err := ensureModel(joined, path, epochsOrDefault(js.TrainEpochs), js.Large, true, src)
 		if err != nil {
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
@@ -332,22 +354,23 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 
 // materialize builds the join view's table and registration options: a
 // legacy inner equi-join for the two-table form, a full-outer join-graph
-// view for the tables/edges form.
-func (js JoinViewSpec) materialize(tables map[string]*duet.Table) (*duet.Table, duet.AddOpts, error) {
+// view for the tables/edges form, or — with a sample budget — a budget-row
+// FOJ sample plus the sampler that streams its training tuples.
+func (js JoinViewSpec) materialize(tables map[string]*duet.Table) (*duet.Table, duet.AddOpts, duet.TupleSource, error) {
 	if !js.graph() {
 		joined, err := duet.BuildJoinView(js.Name, tables[js.Left], js.LeftCol, tables[js.Right], js.RightCol)
 		if err != nil {
-			return nil, duet.AddOpts{}, err
+			return nil, duet.AddOpts{}, nil, err
 		}
 		return joined, duet.AddOpts{Join: &duet.JoinSpec{
 			Left: js.Left, LeftCol: js.LeftCol, Right: js.Right, RightCol: js.RightCol,
-		}}, nil
+		}}, nil, nil
 	}
 	base := make([]*duet.Table, len(js.Tables))
 	for i, t := range js.Tables {
 		tbl, ok := tables[t]
 		if !ok {
-			return nil, duet.AddOpts{}, fmt.Errorf("unknown base table %q", t)
+			return nil, duet.AddOpts{}, nil, fmt.Errorf("unknown base table %q", t)
 		}
 		base[i] = tbl
 	}
@@ -355,12 +378,20 @@ func (js JoinViewSpec) materialize(tables map[string]*duet.Table) (*duet.Table, 
 	for i, e := range js.Edges {
 		edges[i] = duet.JoinEdge{LeftTable: e.Left, LeftCol: e.LeftCol, RightTable: e.Right, RightCol: e.RightCol}
 	}
+	spec := &duet.JoinGraphSpec{Tables: append([]string(nil), js.Tables...), Edges: append([]duet.JoinEdgeSpec(nil), js.Edges...), Sample: js.Sample}
+	if js.Sample > 0 {
+		joined, sampler, err := duet.BuildSampledJoinGraphView(js.Name, base, edges, js.Sample, 1)
+		if err != nil {
+			return nil, duet.AddOpts{}, nil, err
+		}
+		log.Printf("%s: sampled %d of %d FOJ rows (constant-memory materialization)", js.Name, js.Sample, sampler.Total())
+		return joined, duet.AddOpts{Graph: spec}, sampler, nil
+	}
 	joined, err := duet.BuildJoinGraphView(js.Name, base, edges)
 	if err != nil {
-		return nil, duet.AddOpts{}, err
+		return nil, duet.AddOpts{}, nil, err
 	}
-	spec := &duet.JoinGraphSpec{Tables: append([]string(nil), js.Tables...), Edges: append([]duet.JoinEdgeSpec(nil), js.Edges...)}
-	return joined, duet.AddOpts{Graph: spec}, nil
+	return joined, duet.AddOpts{Graph: spec}, nil, nil
 }
 
 func synTable(syn string, rows int, seed int64) (*duet.Table, error) {

@@ -139,6 +139,82 @@ func TestGraphManifest(t *testing.T) {
 	}
 }
 
+// TestSampledGraphManifest: a join-graph entry with a "sample" budget
+// assembles a sampled view — the registered table holds budget rows, the
+// spec carries the budget, and join-size queries still answer with the exact
+// base-table cardinality (never the sample size).
+func TestSampledGraphManifest(t *testing.T) {
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "m.json")
+	man := `{
+  "models": [
+    {"name": "orders", "csv": "orders.csv", "train_epochs": 0},
+    {"name": "customers", "csv": "customers.csv", "train_epochs": 0},
+    {"name": "regions", "csv": "regions.csv", "train_epochs": 0}
+  ],
+  "joins": [{
+    "name": "ocr",
+    "tables": ["orders", "customers", "regions"],
+    "edges": [
+      {"left": "orders", "left_col": "cust_id", "right": "customers", "right_col": "id"},
+      {"left": "customers", "left_col": "region_id", "right": "regions", "right_col": "id"}
+    ],
+    "sample": 6,
+    "train_epochs": 1
+  }]
+}`
+	if err := os.WriteFile(manPath, []byte(man), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := loadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: t.TempDir()})
+	defer reg.Close()
+	if err := assembleRegistry(reg, parsed, "testdata", t.TempDir(), false, duet.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := reg.Table("ocr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.NumRows() != 6 {
+		t.Fatalf("sampled view has %d rows, want the budget 6", view.NumRows())
+	}
+	var info *duet.ModelInfo
+	for _, mi := range reg.Info() {
+		if mi.Name == "ocr" {
+			mi := mi
+			info = &mi
+		}
+	}
+	if info == nil || info.Graph == nil || info.Graph.Sample != 6 {
+		t.Fatalf("registered spec lost the sample budget: %+v", info)
+	}
+	// Join-size answer is the exact inner join from the base tables.
+	tables := make([]*duet.Table, 3)
+	for i, n := range []string{"orders", "customers", "regions"} {
+		if tables[i], err = reg.Table(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, err := duet.JoinGraphCardinality(tables, []duet.JoinEdge{
+		{LeftTable: "orders", LeftCol: "cust_id", RightTable: "customers", RightCol: "id"},
+		{LeftTable: "customers", LeftCol: "region_id", RightTable: "regions", RightCol: "id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, card, err := reg.EstimateExpr(context.Background(), "", "orders.cust_id = customers.id AND customers.region_id = regions.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != float64(exact) {
+		t.Fatalf("sampled join-size estimate %v, want exact %d", card, exact)
+	}
+}
+
 func TestManifestGraphValidation(t *testing.T) {
 	dir := t.TempDir()
 	manPath := filepath.Join(dir, "m.json")
@@ -150,6 +226,8 @@ func TestManifestGraphValidation(t *testing.T) {
 		{`{"name": "j", "tables": ["a", "b", "c"], "edges": [{"left": "a", "left_col": "x", "right": "b", "right_col": "y"}]}`, "len(tables)-1 edges"},
 		{`{"name": "j", "tables": ["a", "nope"], "edges": [{"left": "a", "left_col": "x", "right": "nope", "right_col": "y"}]}`, "unknown table"},
 		{`{"name": "j", "tables": ["a"], "edges": []}`, ">=2 tables"},
+		{`{"name": "j", "left": "a", "left_col": "x", "right": "b", "right_col": "y", "sample": 100}`, "cannot be sampled"},
+		{`{"name": "j", "tables": ["a", "b"], "edges": [{"left": "a", "left_col": "x", "right": "b", "right_col": "y"}], "sample": -5}`, "sample budget"},
 	} {
 		if err := os.WriteFile(manPath, []byte(fmt.Sprintf(base, tc.join)), 0o644); err != nil {
 			t.Fatal(err)

@@ -23,6 +23,18 @@
 //	duettrain -join -join-tables "orders=orders.csv,customers=customers.csv,regions=regions.csv" \
 //	          -join-edges "orders.cust_id=customers.id,customers.region_id=regions.id" \
 //	          -join-name ocr -model ocr.duet
+//
+// -join-sample N switches join-graph mode to sampled materialization: the
+// model trains on a stream of N-per-epoch unbiased full-outer-join samples
+// drawn directly from the base tables (duet.NewJoinSampler), so memory stays
+// bounded by the sample budget however large the join is. The saved model
+// loads against any sample of the same graph (the layout depends only on
+// the graph). Register it with a manifest "sample" field or
+// JoinGraphSpec.Sample so duetserve anchors estimates on base-table
+// cardinalities:
+//
+//	duettrain -join -join-tables ... -join-edges ... -join-sample 100000 \
+//	          -join-name ocr -model ocr.duet
 package main
 
 import (
@@ -60,16 +72,22 @@ func main() {
 	// Join-graph mode (N tables).
 	joinTables := flag.String("join-tables", "", `join-graph mode: comma list of name=source base tables (source: a CSV path or syn:dmv|kdd|census)`)
 	joinEdges := flag.String("join-edges", "", `join-graph mode: comma list of equi-join clauses "a.x=b.y" forming a spanning tree`)
+	joinSample := flag.Int("join-sample", 0, "join-graph mode: sampled materialization budget — train on this many FOJ samples per epoch instead of materializing the join (0 = materialize)")
 	flag.Parse()
 
+	graphMode := *joinTables != "" || *joinEdges != ""
+	if err := validateJoinSample(*joinSample, *join, graphMode); err != nil {
+		fatal(err)
+	}
 	var tbl *duet.Table
+	var sampler *duet.JoinSampler
 	var err error
 	switch {
-	case *joinTables != "" || *joinEdges != "":
+	case graphMode:
 		if !*join {
 			fatal(fmt.Errorf("-join-tables/-join-edges require -join"))
 		}
-		tbl, err = buildJoinGraphTable(*joinTables, *joinEdges, *joinName, *rows, *seed)
+		tbl, sampler, err = buildJoinGraphTable(*joinTables, *joinEdges, *joinName, *rows, *seed, *joinSample)
 	case *join:
 		tbl, err = buildJoinTable(*leftCSV, *leftSyn, *leftCol, *rightCSV, *rightSyn, *rightCol, *joinName, *rows, *seed)
 	default:
@@ -89,6 +107,12 @@ func main() {
 	tc.Epochs = *epochs
 	tc.BatchSize = *batch
 	tc.Lambda = *lambda
+	if sampler != nil {
+		// Sampled join materialization: stream fresh FOJ draws every step;
+		// the sample table only supplies dictionaries and the epoch's scale.
+		tc.Source = sampler
+		tc.SourceRows = *joinSample
+	}
 	if *hybrid && *lambda > 0 {
 		fmt.Printf("labelling %d training queries...\n", *trainQ)
 		gen := workload.InQConfig(tbl.NumCols(), *trainQ, workload.LargestColumn(tbl))
@@ -112,19 +136,43 @@ func main() {
 	fmt.Printf("saved %s (%.2f MB)\n", *modelPath, float64(m.SizeBytes())/1e6)
 }
 
+// validateJoinSample rejects -join-sample outside join-graph mode: the
+// legacy two-table path materializes an inner equi-join and has no sampled
+// counterpart, so silently ignoring the flag would train on the wrong
+// substrate.
+func validateJoinSample(sample int, join, graphMode bool) error {
+	if sample == 0 {
+		return nil
+	}
+	if sample < 0 {
+		return fmt.Errorf("-join-sample must be positive, got %d", sample)
+	}
+	if graphMode && !join {
+		return fmt.Errorf("-join-sample %d needs -join alongside -join-tables/-join-edges", sample)
+	}
+	if !graphMode {
+		return fmt.Errorf("-join-sample %d applies only to join-graph mode (-join with -join-tables/-join-edges); "+
+			"the legacy two-table -left-*/-right-* mode materializes an inner equi-join and cannot be sampled — "+
+			"declare the join as a two-table graph instead", sample)
+	}
+	return nil
+}
+
 // buildJoinGraphTable loads every named base table and materializes the full
-// outer join of the edge tree with fanout columns, the training substrate
-// for a registry join-graph view. Synthetic sources share -rows and offset
-// -seed by their position so the tables differ.
-func buildJoinGraphTable(tablesArg, edgesArg, name string, rows int, seed int64) (*duet.Table, error) {
+// outer join of the edge tree with fanout columns — or, with sample > 0, a
+// sample-budget snapshot of it plus the sampler that streams training
+// tuples — the training substrate for a registry join-graph view. Synthetic
+// sources share -rows and offset -seed by their position so the tables
+// differ.
+func buildJoinGraphTable(tablesArg, edgesArg, name string, rows int, seed int64, sample int) (*duet.Table, *duet.JoinSampler, error) {
 	if tablesArg == "" || edgesArg == "" {
-		return nil, fmt.Errorf("join-graph mode needs both -join-tables and -join-edges")
+		return nil, nil, fmt.Errorf("join-graph mode needs both -join-tables and -join-edges")
 	}
 	var tables []*duet.Table
 	for i, part := range strings.Split(tablesArg, ",") {
 		nameSrc := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(nameSrc) != 2 || nameSrc[0] == "" || nameSrc[1] == "" {
-			return nil, fmt.Errorf("bad -join-tables entry %q (want name=source)", part)
+			return nil, nil, fmt.Errorf("bad -join-tables entry %q (want name=source)", part)
 		}
 		var tbl *duet.Table
 		var err error
@@ -134,7 +182,7 @@ func buildJoinGraphTable(tablesArg, edgesArg, name string, rows int, seed int64)
 			tbl, err = loadTable(nameSrc[1], "", rows, seed)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("table %q: %w", nameSrc[0], err)
+			return nil, nil, fmt.Errorf("table %q: %w", nameSrc[0], err)
 		}
 		tbl.Name = nameSrc[0]
 		tables = append(tables, tbl)
@@ -142,22 +190,31 @@ func buildJoinGraphTable(tablesArg, edgesArg, name string, rows int, seed int64)
 	// Reuse the query parser for the clause list: commas become ANDs.
 	rq, err := workload.ParseRaw(strings.ReplaceAll(edgesArg, ",", " AND "))
 	if err != nil {
-		return nil, fmt.Errorf("-join-edges: %w", err)
+		return nil, nil, fmt.Errorf("-join-edges: %w", err)
 	}
 	if len(rq.Preds) > 0 {
-		return nil, fmt.Errorf("-join-edges %q contains a non-join predicate", edgesArg)
+		return nil, nil, fmt.Errorf("-join-edges %q contains a non-join predicate", edgesArg)
 	}
 	edges := make([]duet.JoinEdge, len(rq.Joins))
 	for i, c := range rq.Joins {
 		edges[i] = duet.JoinEdge{LeftTable: c.LeftTable, LeftCol: c.LeftCol, RightTable: c.RightTable, RightCol: c.RightCol}
 	}
+	if sample > 0 {
+		joined, sampler, err := duet.BuildSampledJoinGraphView(name, tables, edges, sample, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("join graph over %d tables, %d edges: sampling %d of %d FOJ rows (constant memory)\n",
+			len(tables), len(edges), sample, sampler.Total())
+		return joined, sampler, nil
+	}
 	joined, err := duet.BuildJoinGraphView(name, tables, edges)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fmt.Printf("join graph over %d tables, %d edges: %d rows (full outer, fanout columns)\n",
 		len(tables), len(edges), joined.NumRows())
-	return joined, nil
+	return joined, nil, nil
 }
 
 // buildJoinTable loads both sides and materializes their inner equi-join,

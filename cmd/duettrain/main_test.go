@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateJoinSample: the sample budget rides only on join-graph mode;
+// legacy two-table (and join-free) invocations get a descriptive rejection
+// instead of a silently ignored flag.
+func TestValidateJoinSample(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		sample          int
+		join, graphMode bool
+		wantErr         string
+	}{
+		{"disabled", 0, false, false, ""},
+		{"graph mode ok", 5000, true, true, ""},
+		{"legacy two-table mode", 5000, true, false, "cannot be sampled"},
+		{"no join at all", 5000, false, false, "join-graph mode"},
+		{"graph flags without -join", 5000, false, true, "needs -join alongside"},
+		{"negative", -3, true, true, "must be positive"},
+	} {
+		err := validateJoinSample(tc.sample, tc.join, tc.graphMode)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

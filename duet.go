@@ -66,6 +66,20 @@
 //	_, card, err := reg.EstimateExpr(ctx, "",
 //	    "orders.cust_id = customers.id AND customers.region_id = regions.id AND orders.amount<=10")
 //
+// Sampled materialization: when the full outer join is too large to build,
+// BuildSampledJoinGraphView draws an unbiased budget-row sample of it in the
+// identical column layout (NewJoinSampler is the underlying constant-memory
+// tuple stream; TrainConfig.Source trains from fresh draws). Register the
+// sample with JoinGraphSpec.Sample = budget — after its base tables — and
+// the router serves it through the same Resolution path, anchoring every
+// estimate on exact base-table join cardinalities:
+//
+//	view, sampler, _ := duet.BuildSampledJoinGraphView("ocr", tables, edges, 100_000, 1)
+//	model := duet.New(view, duet.DefaultConfig())
+//	tc := duet.DefaultTrainConfig()
+//	tc.Source, tc.SourceRows = sampler, 100_000
+//	duet.Train(model, tc)
+//
 // cmd/duetserve exposes the registry over HTTP (POST /estimate with an
 // optional model name, GET /models, POST /models/{name}/reload, GET /healthz,
 // GET /stats); examples/serving and examples/multimodel are runnable
@@ -315,8 +329,50 @@ type JoinEdge = relation.JoinEdge
 // (AddOpts.Graph). Restricting the result to rows where every fanout column
 // is >= 1 recovers exactly the inner join; the registry router does this, and
 // anchors estimates on exact subtree cardinalities, automatically.
+//
+// Materialization is O(join size); for join trees whose full outer join
+// outgrows memory, use BuildSampledJoinGraphView instead.
 func BuildJoinGraphView(name string, tables []*Table, edges []JoinEdge) (*Table, error) {
 	return relation.MultiJoin(name, &relation.JoinGraph{Tables: tables, Edges: edges})
+}
+
+// JoinSampler draws unbiased uniform tuples from the full outer join of a
+// join tree without materializing it: per-edge hash indexes plus per-row
+// downward fanout weights make each draw O(tree depth) after an
+// O(base-table rows) precomputation, so memory is independent of the join
+// cardinality. It implements TupleSource, so TrainConfig.Source can stream
+// fresh join tuples into training directly.
+type JoinSampler = relation.JoinSampler
+
+// TupleSource streams training tuples into Train (TrainConfig.Source); a
+// JoinSampler is the canonical implementation.
+type TupleSource = core.TupleSource
+
+// NewJoinSampler builds a deterministic sampler over the join tree — the
+// constant-memory alternative to BuildJoinGraphView for JOB-scale joins.
+func NewJoinSampler(tables []*Table, edges []JoinEdge, seed int64) (*JoinSampler, error) {
+	return relation.NewJoinSampler(&relation.JoinGraph{Tables: tables, Edges: edges},
+		relation.JoinSamplerConfig{Seed: seed})
+}
+
+// BuildSampledJoinGraphView draws budget tuples from the join tree's full
+// outer join and materializes them in the exact BuildJoinGraphView column
+// layout (identical dictionaries — the layout depends only on the graph, so
+// models trained against any sample of it are interchangeable). Register the
+// result with AddOpts.Graph carrying JoinGraphSpec.Sample = budget, after
+// its base tables; train with TrainConfig.Source = the returned sampler to
+// stream fresh draws instead of reusing the budget rows. Peak memory is
+// O(base tables + budget), never O(join size).
+func BuildSampledJoinGraphView(name string, tables []*Table, edges []JoinEdge, budget int, seed int64) (*Table, *JoinSampler, error) {
+	s, err := NewJoinSampler(tables, edges, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	view, err := s.SampleTable(name, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, s, nil
 }
 
 // JoinCardinality computes the exact inner equi-join size without

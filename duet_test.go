@@ -2,6 +2,7 @@ package duet_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"duet"
@@ -101,5 +102,71 @@ func TestSyntheticFacades(t *testing.T) {
 	}
 	if c := duet.InQConfig(14, 10, 0); c.NumQueries != 10 || !c.GammaPreds {
 		t.Fatal("InQConfig")
+	}
+}
+
+// TestSampledJoinGraphFacade walks the public sampled-materialization flow:
+// sampler + budget view in the BuildJoinGraphView layout, stream training
+// through TrainConfig.Source, and a registry Sampled view answering join
+// sizes exactly from the base tables.
+func TestSampledJoinGraphFacade(t *testing.T) {
+	left := duet.SynCensus(300, 5)
+	left.Name = "l"
+	right := duet.SynCensus(200, 6)
+	right.Name = "r"
+	lk, rk := left.Cols[0].Name, right.Cols[0].Name
+	edges := []duet.JoinEdge{{LeftTable: "l", LeftCol: lk, RightTable: "r", RightCol: rk}}
+	tables := []*duet.Table{left, right}
+
+	full, err := duet.BuildJoinGraphView("lr", tables, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, sampler, err := duet.BuildSampledJoinGraphView("lr", tables, edges, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.NumRows() != 256 || sampler.Total() != int64(full.NumRows()) {
+		t.Fatalf("sample %d rows of Total %d; materialized FOJ %d", view.NumRows(), sampler.Total(), full.NumRows())
+	}
+	for i, c := range full.Cols {
+		if view.Cols[i].Name != c.Name || view.Cols[i].NumDistinct() != c.NumDistinct() {
+			t.Fatalf("layout mismatch at column %d: %s/%d vs %s/%d",
+				i, view.Cols[i].Name, view.Cols[i].NumDistinct(), c.Name, c.NumDistinct())
+		}
+	}
+
+	m := duet.New(view, smallCfg())
+	tc := duet.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.BatchSize = 128
+	tc.Lambda = 0
+	tc.Source = sampler
+	tc.SourceRows = 256
+	duet.Train(m, tc)
+
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: t.TempDir()})
+	defer reg.Close()
+	for _, tb := range tables {
+		if err := reg.Add(tb.Name, tb, duet.New(tb, smallCfg()), duet.AddOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &duet.JoinGraphSpec{Tables: []string{"l", "r"},
+		Edges:  []duet.JoinEdgeSpec{{Left: "l", LeftCol: lk, Right: "r", RightCol: rk}},
+		Sample: 256}
+	if err := reg.Add("lr", view, m, duet.AddOpts{Graph: spec}); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := duet.JoinGraphCardinality(tables, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, card, err := reg.EstimateExpr(context.Background(), "", "l."+lk+" = r."+rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != float64(exact) {
+		t.Fatalf("sampled join-size answer %v, want exact %d", card, exact)
 	}
 }

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"duet/internal/relation"
+)
+
+// JoinBuildReport compares materialized against sampled join-view
+// construction on a 4-table chain: how many view tuples each path produces
+// per second and how many bytes it allocates doing so. The sampled figures
+// feed the -json perf snapshot (join_build_tuples_per_s,
+// join_peak_alloc_bytes) and the trend gate; the materialized ones are the
+// context that shows what the sampler avoids.
+type JoinBuildReport struct {
+	FOJRows          int64
+	LargestBase      int
+	SampleBudget     int
+	SampledPerS      float64
+	SampledAlloc     int64
+	MaterializePerS  float64
+	MaterializeAlloc int64
+}
+
+// benchChain builds a deterministic a -> b -> c -> d chain sized by the
+// scale: every edge has fanout 3 except the last (fanout 4), so the FOJ is
+// ~36x the root and several times the largest base table.
+func benchChain(s Scale) *relation.JoinGraph {
+	k := s.CensusRows / 8
+	if k < 100 {
+		k = 100
+	}
+	seq := func(n, mod int) []int64 {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(i % mod)
+		}
+		return out
+	}
+	nb, nc := 3*k, 9*k
+	a := relation.NewTable("ja", []*relation.Column{
+		relation.NewIntColumn("ak", seq(k, k)), relation.NewIntColumn("av", seq(k, 7))})
+	b := relation.NewTable("jb", []*relation.Column{
+		relation.NewIntColumn("ak", seq(nb, k)), relation.NewIntColumn("bk", seq(nb, nb)),
+		relation.NewIntColumn("bv", seq(nb, 5))})
+	c := relation.NewTable("jc", []*relation.Column{
+		relation.NewIntColumn("bk", seq(nc, nb)), relation.NewIntColumn("ck", seq(nc, nc/4)),
+		relation.NewIntColumn("cv", seq(nc, 6))})
+	d := relation.NewTable("jd", []*relation.Column{
+		relation.NewIntColumn("ck", seq(nc, nc/4)), relation.NewIntColumn("dv", seq(nc, 9))})
+	return &relation.JoinGraph{
+		Tables: []*relation.Table{a, b, c, d},
+		Edges: []relation.JoinEdge{
+			{LeftTable: "ja", LeftCol: "ak", RightTable: "jb", RightCol: "ak"},
+			{LeftTable: "jb", LeftCol: "bk", RightTable: "jc", RightCol: "bk"},
+			{LeftTable: "jc", LeftCol: "ck", RightTable: "jd", RightCol: "ck"},
+		},
+	}
+}
+
+// measureAlloc runs f and returns its duration and allocated bytes
+// (TotalAlloc is monotonic, so the byte count is GC-independent).
+func measureAlloc(f func()) (time.Duration, int64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	f()
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return dur, int64(m1.TotalAlloc - m0.TotalAlloc)
+}
+
+// JoinBuild is experiment id "joins": it materializes the chain's full outer
+// join, then draws a budget-row sample of it, reporting tuples/s and
+// allocated bytes for both paths. Sampled construction must stay O(base
+// rows + budget) however large the FOJ grows — the property
+// relation.TestJoinSamplerConstantMemory enforces; this benchmark tracks the
+// constants per commit.
+func JoinBuild(w io.Writer, s Scale) (*JoinBuildReport, error) {
+	header(w, "Join build: materialized vs sampled FOJ construction (4-table chain)")
+	g := benchChain(s)
+	rep := &JoinBuildReport{}
+	for _, t := range g.Tables {
+		if t.NumRows() > rep.LargestBase {
+			rep.LargestBase = t.NumRows()
+		}
+	}
+
+	var view *relation.Table
+	var err error
+	matDur, matAlloc := measureAlloc(func() {
+		view, err = relation.MultiJoin("bench_join", g)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.FOJRows = int64(view.NumRows())
+	rep.MaterializeAlloc = matAlloc
+	rep.MaterializePerS = float64(view.NumRows()) / matDur.Seconds()
+
+	rep.SampleBudget = 4 * rep.LargestBase / 9
+	if rep.SampleBudget < 1000 {
+		rep.SampleBudget = 1000
+	}
+	var sampled *relation.Table
+	smpDur, smpAlloc := measureAlloc(func() {
+		var smp *relation.JoinSampler
+		if smp, err = relation.NewJoinSampler(g, relation.JoinSamplerConfig{Seed: 17}); err != nil {
+			return
+		}
+		sampled, err = smp.SampleTable("bench_join_sample", rep.SampleBudget)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.SampledAlloc = smpAlloc
+	rep.SampledPerS = float64(sampled.NumRows()) / smpDur.Seconds()
+
+	fmt.Fprintf(w, "chain FOJ %d rows (largest base %d)\n", rep.FOJRows, rep.LargestBase)
+	fmt.Fprintf(w, "materialized: %.0f tuples/s, %.1f MB allocated\n",
+		rep.MaterializePerS, float64(rep.MaterializeAlloc)/1e6)
+	fmt.Fprintf(w, "sampled (budget %d): %.0f tuples/s, %.1f MB allocated (%.1fx less)\n",
+		rep.SampleBudget, rep.SampledPerS, float64(rep.SampledAlloc)/1e6,
+		float64(rep.MaterializeAlloc)/float64(max(rep.SampledAlloc, 1)))
+	return rep, nil
+}

@@ -29,6 +29,10 @@ func Experiments() []Experiment {
 		{"ablation-merge", "Ablation: merged block-diagonal MPSN", AblationMergedMPSN},
 		{"ablation-enc", "Ablation: value encoding strategies", AblationEncoding},
 		{"ablation-stability", "Ablation: estimate stability across RNG states (Problem 4)", AblationStability},
+		{"joins", "Join build: materialized vs sampled FOJ construction", func(w io.Writer, s Scale) error {
+			_, err := JoinBuild(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

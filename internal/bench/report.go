@@ -36,7 +36,17 @@ type PerfReport struct {
 	BatchSize       int           `json:"batch_size"`
 	QErrorRandQ     QErrorSummary `json:"qerror_randq"`
 	QErrorInQ       QErrorSummary `json:"qerror_inq"`
-	ElapsedS        float64       `json:"elapsed_s"`
+
+	// Sampled join materialization (the JoinBuild experiment): draw
+	// throughput and allocation footprint of building a budget-row FOJ
+	// sample on the 4-table bench chain. The tuples/s figure is trend-gated;
+	// the byte figure tracks the constant-memory property's constants.
+	JoinBuildTuplesPerS float64 `json:"join_build_tuples_per_s"`
+	JoinPeakAllocBytes  int64   `json:"join_peak_alloc_bytes"`
+	JoinSampleBudget    int     `json:"join_sample_budget"`
+	JoinFOJRows         int64   `json:"join_foj_rows"`
+
+	ElapsedS float64 `json:"elapsed_s"`
 }
 
 // QErrorSummary mirrors workload.Stats with JSON field names.
@@ -122,6 +132,15 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 		}
 	}
 	cached.Close()
+
+	jb, err := JoinBuild(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.JoinBuildTuplesPerS = jb.SampledPerS
+	rep.JoinPeakAllocBytes = jb.SampledAlloc
+	rep.JoinSampleBudget = jb.SampleBudget
+	rep.JoinFOJRows = jb.FOJRows
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

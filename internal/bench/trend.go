@@ -41,5 +41,6 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 	check("batched q/s", r.BatchQPS, base.BatchQPS)
 	check("cached q/s", r.CachedQPS, base.CachedQPS)
 	check("train tuples/s", r.TrainTuplesPerS, base.TrainTuplesPerS)
+	check("join build tuples/s", r.JoinBuildTuplesPerS, base.JoinBuildTuplesPerS)
 	return regressions
 }

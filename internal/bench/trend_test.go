@@ -30,6 +30,13 @@ func TestCompareBaseline(t *testing.T) {
 	if regs := cur.CompareBaseline(old, 0.30); len(regs) != 0 {
 		t.Fatalf("missing-metric comparison: %v", regs)
 	}
+	// The sampled join-build throughput is gated like the serving metrics.
+	base = &PerfReport{JoinBuildTuplesPerS: 100000}
+	cur = &PerfReport{JoinBuildTuplesPerS: 50000}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "join build tuples/s") {
+		t.Fatalf("join build regression not flagged: %v", regs)
+	}
 }
 
 func TestLoadReportRoundtrip(t *testing.T) {

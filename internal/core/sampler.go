@@ -86,10 +86,6 @@ func SampleVirtualTuples(t *relation.Table, rows []int, cfg SamplerConfig, epoch
 	if mu < 1 {
 		mu = 1
 	}
-	maxP := cfg.MaxPredsPerCol
-	if maxP < 1 {
-		maxP = 1
-	}
 	b := len(rows) * mu
 	n := t.NumCols()
 	specs = make([]Spec, b)
@@ -103,12 +99,27 @@ func SampleVirtualTuples(t *relation.Table, rows []int, cfg SamplerConfig, epoch
 	for k := 0; k < b; k++ {
 		t.RowCodes(rows[k/mu], labels[k])
 	}
-	tensor.ParallelFor(n, 1, func(lo, hi int) {
+	SampleSpecsForLabels(t, specs, labels, cfg, epoch)
+	return specs, labels
+}
+
+// SampleSpecsForLabels runs Algorithm 1's predicate sampling over pre-filled
+// label tuples: for every tuple and column it draws predicates the tuple
+// satisfies, exactly as SampleVirtualTuples does after reading the labels
+// from table rows. The tuple-stream training path (TrainConfig.Source) fills
+// labels from a sampler draw instead of table rows and reuses specs across
+// steps; each specs[k] must already hold one (possibly truncated) predicate
+// list per column — the lists are overwritten, not appended to.
+func SampleSpecsForLabels(t *relation.Table, specs []Spec, labels [][]int32, cfg SamplerConfig, epoch int) {
+	maxP := cfg.MaxPredsPerCol
+	if maxP < 1 {
+		maxP = 1
+	}
+	tensor.ParallelFor(t.NumCols(), 1, func(lo, hi int) {
 		for col := lo; col < hi; col++ {
 			sampleColumn(t, specs, labels, col, cfg, maxP, epoch)
 		}
 	})
-	return specs, labels
 }
 
 // sampleColumn fills one column of every virtual tuple. The operator is
@@ -121,6 +132,7 @@ func sampleColumn(t *relation.Table, specs []Spec, labels [][]int32, col int, cf
 	b := len(specs)
 	opOrder := rng.Perm(int(workload.NumOps))
 	for k := 0; k < b; k++ {
+		specs[k][col] = specs[k][col][:0] // reused spec buffers carry stale lists
 		if rng.Float64() < cfg.WildcardProb {
 			continue // wildcard: empty predicate list
 		}

@@ -1,0 +1,66 @@
+package core
+
+// TupleSource streams training tuples as dictionary codes laid out like the
+// model table's columns. It is how training runs without a materialized
+// table behind it: relation.JoinSampler implements it by drawing
+// full-outer-join rows on demand, so a join view's training memory is
+// bounded by the batch buffers and the sample budget instead of the join
+// cardinality. Sources are called from the training goroutine only.
+type TupleSource interface {
+	// DrawTuples fills each dst[i] (len = the table's column count) with one
+	// tuple's codes.
+	DrawTuples(dst [][]int32)
+}
+
+// streamBatch owns the tuple-stream training path's reusable buffers: one
+// flat label slab (re-sliced per step), the per-tuple views into it, the
+// draw destinations handed to the source, and the spec lists. After the
+// first step at full batch size, streaming steps stop allocating label or
+// spec storage — the pooled-buffer analogue of what the serving engine does
+// for inference scratch.
+type streamBatch struct {
+	ncols  int
+	slab   []int32
+	labels [][]int32
+	draw   [][]int32
+	specs  []Spec
+}
+
+func newStreamBatch(ncols int) *streamBatch { return &streamBatch{ncols: ncols} }
+
+// next draws `batch` fresh tuples from src, replicates each mu times (the
+// same expansion Algorithm 1 applies to table rows), and samples the
+// per-column predicate lists, returning views valid until the next call.
+func (sb *streamBatch) next(m *Model, src TupleSource, batch, mu int, cfg SamplerConfig, epoch int) ([]Spec, [][]int32) {
+	if mu < 1 {
+		mu = 1
+	}
+	need := batch * mu
+	if cap(sb.slab) < need*sb.ncols {
+		sb.slab = make([]int32, need*sb.ncols)
+		sb.labels = make([][]int32, 0, need)
+	}
+	sb.slab = sb.slab[:need*sb.ncols]
+	sb.labels = sb.labels[:0]
+	for k := 0; k < need; k++ {
+		sb.labels = append(sb.labels, sb.slab[k*sb.ncols:(k+1)*sb.ncols])
+	}
+	// Draw each base tuple directly into its first replica's label slot...
+	sb.draw = sb.draw[:0]
+	for k := 0; k < batch; k++ {
+		sb.draw = append(sb.draw, sb.labels[k*mu])
+	}
+	src.DrawTuples(sb.draw)
+	// ...then copy it into the remaining mu-1 replicas.
+	for k := 0; k < batch; k++ {
+		for j := 1; j < mu; j++ {
+			copy(sb.labels[k*mu+j], sb.labels[k*mu])
+		}
+	}
+	for len(sb.specs) < need {
+		sb.specs = append(sb.specs, make(Spec, sb.ncols))
+	}
+	specs := sb.specs[:need]
+	SampleSpecsForLabels(m.table, specs, sb.labels, cfg, epoch)
+	return specs, sb.labels
+}

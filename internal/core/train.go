@@ -31,6 +31,17 @@ type TrainConfig struct {
 	Workload   []workload.LabeledQuery
 	QueryBatch int // queries per step; defaults to min(BatchSize, 64)
 
+	// Source, when non-nil, streams the training tuples instead of reading
+	// them from the model's table rows — the sampled join materialization
+	// path: every step draws a fresh batch from the source (e.g. a
+	// relation.JoinSampler over the join graph) into pooled buffers, so
+	// training memory is bounded by the batch size, not the table or join
+	// size. The model's table then only supplies the column dictionaries
+	// (e.g. a JoinSampler.SampleTable snapshot). SourceRows is the number of
+	// tuples one epoch consumes (default: the table's row count).
+	Source     TupleSource
+	SourceRows int
+
 	ClipNorm float64 // global gradient-norm clip; 0 disables
 	Seed     int64
 
@@ -106,11 +117,21 @@ func Train(m *Model, cfg TrainConfig) []EpochStats {
 		sampler.ImportanceProb = cfg.ImportanceProb
 	}
 	nRows := m.table.NumRows()
+	var stream *streamBatch
+	if cfg.Source != nil {
+		stream = newStreamBatch(m.table.NumCols())
+		if cfg.SourceRows > 0 {
+			nRows = cfg.SourceRows
+		}
+	}
 	var history []EpochStats
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		start := time.Now()
-		perm := rng.Perm(nRows)
+		var perm []int
+		if stream == nil {
+			perm = rng.Perm(nRows)
+		}
 		var dataLossSum, qLossSum, rawQSum float64
 		var steps int
 		for off := 0; off < nRows; off += cfg.BatchSize {
@@ -118,11 +139,17 @@ func Train(m *Model, cfg TrainConfig) []EpochStats {
 			if end > nRows {
 				end = nRows
 			}
-			rows := perm[off:end]
 			nn.ZeroGrads(m.params)
 
-			// (1) Unsupervised pass over virtual tuples.
-			specs, labels := SampleVirtualTuples(m.table, rows, sampler, epoch)
+			// (1) Unsupervised pass over virtual tuples: labels come from the
+			// shuffled table rows, or — streaming — fresh source draws.
+			var specs []Spec
+			var labels [][]int32
+			if stream != nil {
+				specs, labels = stream.next(m, cfg.Source, end-off, cfg.Mu, sampler, epoch)
+			} else {
+				specs, labels = SampleVirtualTuples(m.table, perm[off:end], sampler, epoch)
+			}
 			logits := m.Forward(specs)
 			dLogits := tensor.New(logits.Rows, logits.Cols)
 			dataLoss := nn.SoftmaxCE(logits, m.net.Out, labels, dLogits)

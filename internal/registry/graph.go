@@ -36,9 +36,20 @@ func (e JoinEdgeSpec) Edge() relation.JoinEdge {
 // base tables and the spanning tree of equi-join edges over them (the
 // relation.MultiJoin shape). The router matches a query's join-clause set
 // against the edge set orientation- and order-insensitively.
+//
+// Sample > 0 declares the view sampled-materialized with that budget: the
+// registered table holds Sample rows drawn uniformly from the full outer
+// join by relation.JoinSampler (same column layout, same dictionaries)
+// instead of the join itself. Routing and predicate rewriting are unchanged;
+// the only difference is that every exact-cardinality anchor — including the
+// full edge set's — is computed from the registered base tables via the
+// MultiJoinCardinality tree DP, never by counting view rows (which would be
+// the sample size). Sampled views therefore require all their base tables
+// registered before Add.
 type JoinGraphSpec struct {
 	Tables []string       `json:"tables"`
 	Edges  []JoinEdgeSpec `json:"edges"`
+	Sample int            `json:"sample,omitempty"`
 }
 
 // Key returns the canonical edge-set key the registry indexes graph views by.
@@ -59,11 +70,17 @@ func (s JoinGraphSpec) String() string { return s.Key() }
 // inner-join count per queried subtree (the fanout-correction anchors the
 // router calibrates estimates against).
 type graphView struct {
-	spec   JoinGraphSpec
-	key    string
-	view   *relation.Table
-	tables map[string]bool
-	edges  map[workload.JoinClause]JoinEdgeSpec // canonical clause -> edge
+	spec    JoinGraphSpec
+	key     string
+	view    *relation.Table
+	sampled bool // view rows are a FOJ sample; never count them as exact
+	tables  map[string]bool
+	edges   map[workload.JoinClause]JoinEdgeSpec // canonical clause -> edge
+
+	// ix caches the per-edge hash indexes every exact subtree anchor runs
+	// on, so repeated Resolve calls (and different subtrees sharing edges)
+	// never rebuild an edge's match index.
+	ix *relation.JoinIndexes
 
 	colIdx   map[string]int                // view column name -> index
 	presence map[string]workload.Predicate // base table -> fanout>=1 predicate
@@ -86,12 +103,17 @@ func newGraphView(spec JoinGraphSpec, view *relation.Table) (*graphView, error) 
 	if len(spec.Tables) < 2 {
 		return nil, fmt.Errorf("registry: join graph needs at least 2 tables, got %d", len(spec.Tables))
 	}
+	if spec.Sample < 0 {
+		return nil, fmt.Errorf("registry: join graph sample budget must be >= 0, got %d", spec.Sample)
+	}
 	v := &graphView{
 		spec:     spec,
 		key:      spec.Key(),
 		view:     view,
+		sampled:  spec.Sample > 0,
 		tables:   make(map[string]bool, len(spec.Tables)),
 		edges:    make(map[workload.JoinClause]JoinEdgeSpec, len(spec.Edges)),
+		ix:       relation.NewJoinIndexes(),
 		colIdx:   make(map[string]int, view.NumCols()),
 		presence: make(map[string]workload.Predicate, len(spec.Tables)),
 		nullCode: make(map[int]int32),
@@ -246,12 +268,13 @@ func (v *graphView) clampNull(preds []workload.Predicate, p workload.Predicate) 
 
 // exactJoin returns the exact inner-join cardinality of the subtree the
 // clauses describe — the fanout-correction anchor the router calibrates
-// estimates against. For the view's full edge set it is the count of view
-// rows where every table participates (the full outer join restricted to its
-// inner rows); for a proper subset it is computed from the base tables with
-// relation.MultiJoinCardinality, because subset tuples appear in the view
-// once per combination the excluded tables fan out to. Either count is
-// computed once per subtree and cached.
+// estimates against. For a fully materialized view's full edge set it is the
+// count of view rows where every table participates (the full outer join
+// restricted to its inner rows); for a proper subset — and for every query
+// against a sampled view, whose rows are a FOJ sample, not the FOJ — it is
+// computed from the base tables with the relation.MultiJoinCardinality tree
+// DP over the view's cached per-edge indexes. Either count is computed once
+// per subtree and cached.
 func (v *graphView) exactJoin(clauses []workload.JoinClause, tables []string) (float64, error) {
 	key := workload.JoinSetKey(clauses)
 	v.mu.Lock()
@@ -262,7 +285,7 @@ func (v *graphView) exactJoin(clauses []workload.JoinClause, tables []string) (f
 	v.mu.Unlock()
 
 	var exact int64
-	if key == v.key {
+	if key == v.key && !v.sampled {
 		exact = exec.Cardinality(v.view, workload.Query{Preds: v.presencePreds(tables)})
 	} else {
 		baseTables := make([]*relation.Table, 0, len(tables))
@@ -276,7 +299,7 @@ func (v *graphView) exactJoin(clauses []workload.JoinClause, tables []string) (f
 			baseTables = append(baseTables, bt)
 		}
 		if len(missing) > 0 {
-			return 0, fmt.Errorf("registry: fanout correction for the subset join %q needs base tables %s registered alongside view %q",
+			return 0, fmt.Errorf("registry: fanout correction for the join %q needs base tables %s registered alongside view %q",
 				key, strings.Join(missing, ", "), v.view.Name)
 		}
 		edges := make([]relation.JoinEdge, 0, len(clauses))
@@ -288,7 +311,7 @@ func (v *graphView) exactJoin(clauses []workload.JoinClause, tables []string) (f
 			edges = append(edges, e.Edge())
 		}
 		var err error
-		if exact, err = relation.MultiJoinCardinality(&relation.JoinGraph{Tables: baseTables, Edges: edges}); err != nil {
+		if exact, err = relation.MultiJoinCardinalityIndexed(&relation.JoinGraph{Tables: baseTables, Edges: edges}, v.ix); err != nil {
 			return 0, err
 		}
 	}

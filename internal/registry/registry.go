@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -278,6 +279,22 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 					graph.base[bt] = be.table
 					break
 				}
+			}
+		}
+		if graph.sampled {
+			// A sampled view's rows are a FOJ sample: every exact anchor —
+			// including the full edge set's — comes from the base tables, so
+			// all of them must be registered up front.
+			var missing []string
+			for _, bt := range opts.Graph.Tables {
+				if graph.base[bt] == nil {
+					missing = append(missing, bt)
+				}
+			}
+			if len(missing) > 0 {
+				e.h.est.Close()
+				return fmt.Errorf("registry: sampled join-graph view %q anchors estimates on base-table cardinalities; register base tables %s before it",
+					name, strings.Join(missing, ", "))
 			}
 		}
 		r.graphs[graph.key] = name

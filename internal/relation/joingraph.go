@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // JoinEdge is one equi-join condition between two named tables:
@@ -121,6 +122,64 @@ func (g *JoinGraph) validate() ([]treeEdge, error) {
 	return tree, nil
 }
 
+// joinSlabs recycles the flat assembly slabs MultiJoin's generations run on,
+// tensor.Pool-style: steady-state materialization reuses storage from the
+// previous edge (and previous MultiJoin calls) instead of paying the garbage
+// collector per generation.
+var joinSlabs sync.Pool
+
+func getSlab(capHint int) []int32 {
+	if p, ok := joinSlabs.Get().(*[]int32); ok {
+		return (*p)[:0]
+	}
+	return make([]int32, 0, capHint)
+}
+
+func putSlab(s []int32) {
+	s = s[:0]
+	joinSlabs.Put(&s)
+}
+
+// joinRows is one generation of MultiJoin's assembly state: per result row
+// the row assignment of every table (-1 = absent) and its per-table fanouts,
+// stored as two flat nt-strided slabs. The flat layout replaces the previous
+// two-allocations-per-emitted-row assembly ([][]int32 rows) with amortized
+// append growth on pooled storage.
+type joinRows struct {
+	nt       int
+	asg, fan []int32
+}
+
+func newJoinRows(nt, capRows int) *joinRows {
+	return &joinRows{nt: nt, asg: getSlab(capRows * nt), fan: getSlab(capRows * nt)}
+}
+
+func (jr *joinRows) rows() int            { return len(jr.asg) / jr.nt }
+func (jr *joinRows) asgRow(i int) []int32 { return jr.asg[i*jr.nt : (i+1)*jr.nt] }
+func (jr *joinRows) fanRow(i int) []int32 { return jr.fan[i*jr.nt : (i+1)*jr.nt] }
+
+// appendBlank appends an all-absent row and returns its index.
+func (jr *joinRows) appendBlank() int {
+	for k := 0; k < jr.nt; k++ {
+		jr.asg = append(jr.asg, -1)
+		jr.fan = append(jr.fan, 0)
+	}
+	return jr.rows() - 1
+}
+
+// appendCopy appends a copy of src's row i and returns the new row's index.
+func (jr *joinRows) appendCopy(src *joinRows, i int) int {
+	jr.asg = append(jr.asg, src.asgRow(i)...)
+	jr.fan = append(jr.fan, src.fanRow(i)...)
+	return jr.rows() - 1
+}
+
+func (jr *joinRows) release() {
+	putSlab(jr.asg)
+	putSlab(jr.fan)
+	jr.asg, jr.fan = nil, nil
+}
+
 // MultiJoin materializes the full outer join of the graph's tables along its
 // edge tree, NeuroCard-style. Every base row of every table appears in the
 // result at least once: matched rows combine, unmatched rows survive padded
@@ -135,7 +194,17 @@ func (g *JoinGraph) validate() ([]treeEdge, error) {
 // NULL sentinels are appended at the end of the affected column's sorted
 // dictionary (greater than every real value), so every real-value range
 // predicate can exclude them with one extra "< sentinel" bound.
+//
+// MultiJoin is the one-shot form of MultiJoinIndexed; pass a JoinIndexes to
+// share the per-edge indexes with MultiJoinCardinality and JoinSampler calls
+// over the same base tables.
 func MultiJoin(name string, g *JoinGraph) (*Table, error) {
+	return MultiJoinIndexed(name, g, nil)
+}
+
+// MultiJoinIndexed is MultiJoin drawing its per-edge hash indexes from ix
+// (nil builds fresh ones).
+func MultiJoinIndexed(name string, g *JoinGraph, ix *JoinIndexes) (*Table, error) {
 	tree, err := g.validate()
 	if err != nil {
 		return nil, err
@@ -144,79 +213,55 @@ func MultiJoin(name string, g *JoinGraph) (*Table, error) {
 	// State: one row assignment per result row (-1 = table absent), plus the
 	// per-table fanout of each row. Seeded with every root row.
 	root := g.Tables[0]
-	asg := make([][]int32, 0, root.NumRows())
-	fan := make([][]int32, 0, root.NumRows())
+	cur := newJoinRows(nt, root.NumRows())
 	for r := 0; r < root.NumRows(); r++ {
-		a := make([]int32, nt)
-		for i := range a {
-			a[i] = -1
-		}
-		a[0] = int32(r)
-		asg = append(asg, a)
-		fan = append(fan, make([]int32, nt))
+		i := cur.appendBlank()
+		cur.asgRow(i)[0] = int32(r)
 	}
 	for _, te := range tree {
+		o := ix.orientedFor(g, te)
 		parent, child := g.Tables[te.parent], g.Tables[te.child]
 		pc, cc := parent.Cols[te.parentCol], child.Cols[te.childCol]
-		// Hash the child side by raw key value.
-		matches := make(map[string][]int32, cc.NumDistinct())
-		for r := 0; r < child.NumRows(); r++ {
-			k := cc.ValueString(cc.Codes[r])
-			matches[k] = append(matches[k], int32(r))
-		}
-		// Keys present anywhere in the parent base table; by induction every
-		// parent base row is in the state, so a child key outside this set is
-		// dangling and must be preserved by the outer join.
-		parentKeys := make(map[string]bool, pc.NumDistinct())
-		for r := 0; r < parent.NumRows(); r++ {
-			parentKeys[pc.ValueString(pc.Codes[r])] = true
-		}
-		nextAsg := make([][]int32, 0, len(asg))
-		nextFan := make([][]int32, 0, len(fan))
-		for i, a := range asg {
-			if a[te.parent] < 0 {
-				nextAsg = append(nextAsg, a)
-				nextFan = append(nextFan, fan[i])
+		next := newJoinRows(nt, cur.rows())
+		for i := 0; i < cur.rows(); i++ {
+			p := cur.asgRow(i)[te.parent]
+			if p < 0 {
+				next.appendCopy(cur, i)
 				continue
 			}
-			ms := matches[pc.ValueString(pc.Codes[a[te.parent]])]
-			if len(ms) == 0 {
-				nextAsg = append(nextAsg, a)
-				nextFan = append(nextFan, fan[i])
+			ccode := o.childCode(pc.Codes[p])
+			if ccode < 0 {
+				next.appendCopy(cur, i)
 				continue
 			}
+			ms := o.matches(ccode)
 			for _, m := range ms {
-				na := append([]int32(nil), a...)
-				nf := append([]int32(nil), fan[i]...)
-				na[te.child] = m
-				nf[te.child] = int32(len(ms))
-				nextAsg = append(nextAsg, na)
-				nextFan = append(nextFan, nf)
+				j := next.appendCopy(cur, i)
+				next.asgRow(j)[te.child] = m
+				next.fanRow(j)[te.child] = int32(len(ms))
 			}
 		}
-		// Dangling child rows: no parent anywhere, preserved alone.
+		// Dangling child rows: no parent anywhere, preserved alone. A child
+		// row is dangling exactly when its key code translates to no parent
+		// code (dictionaries carry only values that occur in rows).
 		for r := 0; r < child.NumRows(); r++ {
-			if parentKeys[cc.ValueString(cc.Codes[r])] {
+			if !o.dangling(cc.Codes[r]) {
 				continue
 			}
-			a := make([]int32, nt)
-			for i := range a {
-				a[i] = -1
-			}
-			a[te.child] = int32(r)
-			f := make([]int32, nt)
-			f[te.child] = 1
-			nextAsg = append(nextAsg, a)
-			nextFan = append(nextFan, f)
+			j := next.appendBlank()
+			next.asgRow(j)[te.child] = int32(r)
+			next.fanRow(j)[te.child] = 1
 		}
-		asg, fan = nextAsg, nextFan
+		cur.release()
+		cur = next
 	}
 	// The root's fanout is its presence indicator.
-	for i, a := range asg {
-		if a[0] >= 0 {
-			fan[i][0] = 1
+	for i := 0; i < cur.rows(); i++ {
+		if cur.asgRow(i)[0] >= 0 {
+			cur.fanRow(i)[0] = 1
 		}
 	}
+	defer cur.release()
 
 	// Materialize: per table, its value columns (with a NULL sentinel when any
 	// row misses the table) followed by its fanout column.
@@ -228,8 +273,8 @@ func MultiJoin(name string, g *JoinGraph) (*Table, error) {
 	}
 	for ti, t := range g.Tables {
 		absent := false
-		for _, a := range asg {
-			if a[ti] < 0 {
+		for i := 0; i < cur.rows(); i++ {
+			if cur.asgRow(i)[ti] < 0 {
 				absent = true
 				break
 			}
@@ -248,7 +293,7 @@ func MultiJoin(name string, g *JoinGraph) (*Table, error) {
 				}
 			}
 			names[cn] = true
-			out, err := projectWithNull(cn, src, asg, ti, absent)
+			out, err := projectWithNull(cn, src, cur, ti, absent)
 			if err != nil {
 				return nil, err
 			}
@@ -259,22 +304,23 @@ func MultiJoin(name string, g *JoinGraph) (*Table, error) {
 			return nil, fmt.Errorf("relation: join view column %q collides; rename table or column", fn)
 		}
 		names[fn] = true
-		fv := make([]int64, len(fan))
-		for i := range fan {
-			fv[i] = int64(fan[i][ti])
+		fv := make([]int64, cur.rows())
+		for i := range fv {
+			fv[i] = int64(cur.fanRow(i)[ti])
 		}
 		cols = append(cols, NewIntColumn(fn, fv))
 	}
 	return NewTable(name, cols), nil
 }
 
-// projectWithNull projects src onto the result rows' assignments for table
-// ti. Every base row survives a full outer join, so the dictionary is the
-// source dictionary unchanged — plus, when some result row misses the table,
-// a NULL sentinel appended past the greatest real value.
-func projectWithNull(name string, src *Column, asg [][]int32, ti int, withNull bool) (*Column, error) {
+// dictWithNull copies src's dictionary, appending — when withNull is set — a
+// NULL sentinel past the greatest real value, and returns the copy in an
+// otherwise empty column (no codes). Both the materialized and the sampled
+// join views build their column dictionaries through it, so the two layouts
+// are identical by construction.
+func dictWithNull(name string, src *Column, withNull bool) (*Column, error) {
 	ndv := src.NumDistinct()
-	out := &Column{Name: name, Kind: src.Kind, Codes: make([]int32, len(asg))}
+	out := &Column{Name: name, Kind: src.Kind}
 	switch src.Kind {
 	case KindInt:
 		out.Ints = append(make([]int64, 0, ndv+1), src.Ints...)
@@ -283,44 +329,58 @@ func projectWithNull(name string, src *Column, asg [][]int32, ti int, withNull b
 	case KindString:
 		out.Strs = append(make([]string, 0, ndv+1), src.Strs...)
 	}
-	if withNull {
-		switch src.Kind {
-		case KindInt:
-			s := int64(0)
-			if ndv > 0 {
-				s = src.Ints[ndv-1] + 1
-				if s <= src.Ints[ndv-1] {
-					return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %d in column %q", src.Ints[ndv-1], name)
-				}
-			}
-			out.Ints = append(out.Ints, s)
-		case KindFloat:
-			s := 0.0
-			if ndv > 0 {
-				mx := src.Floats[ndv-1]
-				s = mx + 1
-				if !(s > mx) {
-					s = math.Nextafter(mx, math.MaxFloat64)
-				}
-				if !(s > mx) {
-					return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %g in column %q", mx, name)
-				}
-			}
-			out.Floats = append(out.Floats, s)
-		case KindString:
-			s := ""
-			if ndv > 0 {
-				s = src.Strs[ndv-1] + "\x01"
-			}
-			out.Strs = append(out.Strs, s)
-		}
+	if !withNull {
+		return out, nil
 	}
-	null := int32(ndv)
-	for i, a := range asg {
-		if a[ti] < 0 {
+	switch src.Kind {
+	case KindInt:
+		s := int64(0)
+		if ndv > 0 {
+			s = src.Ints[ndv-1] + 1
+			if s <= src.Ints[ndv-1] {
+				return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %d in column %q", src.Ints[ndv-1], name)
+			}
+		}
+		out.Ints = append(out.Ints, s)
+	case KindFloat:
+		s := 0.0
+		if ndv > 0 {
+			mx := src.Floats[ndv-1]
+			s = mx + 1
+			if !(s > mx) {
+				s = math.Nextafter(mx, math.MaxFloat64)
+			}
+			if !(s > mx) {
+				return nil, fmt.Errorf("relation: cannot place a NULL sentinel above %g in column %q", mx, name)
+			}
+		}
+		out.Floats = append(out.Floats, s)
+	case KindString:
+		s := ""
+		if ndv > 0 {
+			s = src.Strs[ndv-1] + "\x01"
+		}
+		out.Strs = append(out.Strs, s)
+	}
+	return out, nil
+}
+
+// projectWithNull projects src onto the result rows' assignments for table
+// ti. Every base row survives a full outer join, so the dictionary is the
+// source dictionary unchanged — plus, when some result row misses the table,
+// a NULL sentinel appended past the greatest real value.
+func projectWithNull(name string, src *Column, st *joinRows, ti int, withNull bool) (*Column, error) {
+	out, err := dictWithNull(name, src, withNull)
+	if err != nil {
+		return nil, err
+	}
+	null := int32(src.NumDistinct())
+	out.Codes = make([]int32, st.rows())
+	for i := range out.Codes {
+		if a := st.asgRow(i)[ti]; a < 0 {
 			out.Codes[i] = null
 		} else {
-			out.Codes[i] = src.Codes[a[ti]]
+			out.Codes[i] = src.Codes[a]
 		}
 	}
 	return out, nil
@@ -328,29 +388,44 @@ func projectWithNull(name string, src *Column, asg [][]int32, ti int, withNull b
 
 // MultiJoinCardinality returns the exact inner-join size of the graph
 // without materializing it, by dynamic programming up the edge tree: each
-// node aggregates, per join-key value, the number of inner-join combinations
+// node aggregates, per join-key code, the number of inner-join combinations
 // its subtree produces. It generalizes JoinCardinality to N-way joins and is
 // the ground-truth oracle behind the registry's fanout correction.
 func MultiJoinCardinality(g *JoinGraph) (int64, error) {
+	return MultiJoinCardinalityIndexed(g, nil)
+}
+
+// MultiJoinCardinalityIndexed is MultiJoinCardinality drawing its per-edge
+// indexes from ix (nil builds fresh ones). The registry caches one
+// JoinIndexes per graph view so exact subtree anchors never rebuild an
+// edge's match index across calls.
+func MultiJoinCardinalityIndexed(g *JoinGraph, ix *JoinIndexes) (int64, error) {
 	tree, err := g.validate()
 	if err != nil {
 		return 0, err
 	}
-	// children[p] lists (child, colOnParent, colOnChild) in tree order;
-	// processing tree edges in reverse visits every child before its parent.
+	// children[p] lists this node's outgoing tree edges; processing tree
+	// edges in reverse visits every child before its parent. Each non-root
+	// node has exactly one incoming edge, so its oriented index lives at
+	// ors[child].
 	children := make([][]treeEdge, len(g.Tables))
+	ors := make([]oriented, len(g.Tables))
 	for _, te := range tree {
 		children[te.parent] = append(children[te.parent], te)
+		ors[te.child] = ix.orientedFor(g, te)
 	}
-	// weight[c] maps a child's join-key value to the number of inner-join
-	// combinations its subtree contributes for that key.
-	weight := make([]map[string]int64, len(g.Tables))
+	// weight[c][code] is the number of inner-join combinations c's subtree
+	// contributes for join-key code `code` of c's own key column.
+	weight := make([][]int64, len(g.Tables))
 	rowWeight := func(ti int, r int) int64 {
 		w := int64(1)
 		t := g.Tables[ti]
 		for _, te := range children[ti] {
-			key := t.Cols[te.parentCol].ValueString(t.Cols[te.parentCol].Codes[r])
-			w *= weight[te.child][key]
+			ccode := ors[te.child].childCode(t.Cols[te.parentCol].Codes[r])
+			if ccode < 0 {
+				return 0
+			}
+			w *= weight[te.child][ccode]
 			if w == 0 {
 				return 0
 			}
@@ -361,10 +436,10 @@ func MultiJoinCardinality(g *JoinGraph) (int64, error) {
 		te := tree[i]
 		child := g.Tables[te.child]
 		cc := child.Cols[te.childCol]
-		m := make(map[string]int64, cc.NumDistinct())
+		m := make([]int64, cc.NumDistinct())
 		for r := 0; r < child.NumRows(); r++ {
 			if w := rowWeight(te.child, r); w != 0 {
-				m[cc.ValueString(cc.Codes[r])] += w
+				m[cc.Codes[r]] += w
 			}
 		}
 		weight[te.child] = m
