@@ -12,16 +12,18 @@
 //
 // -json runs the perf experiment and writes a machine-readable snapshot
 // (queries/second sequential vs batched vs cached, training throughput, the
-// Q-Error summary on both paper workloads, and the sampled join-build
-// figures join_build_tuples_per_s / join_peak_alloc_bytes from the "joins"
-// experiment); CI uploads it as an artifact so the performance trajectory is
-// tracked per commit.
+// Q-Error summary on both paper workloads, the sampled join-build figures
+// join_build_tuples_per_s / join_peak_alloc_bytes from the "joins"
+// experiment, and the lifecycle figures retrain_tuples_per_s /
+// swap_latency_ms from the "retrain" experiment); CI uploads it as an
+// artifact so the performance trajectory is tracked per commit.
 //
 // -baseline activates the trend gate: the fresh snapshot is compared against
 // the committed baseline report and the run exits non-zero when any
-// throughput metric regressed by more than -max-regress (default 30%):
+// throughput metric regressed by more than -max-regress (default 30%), or
+// the swap latency grew past that allowance above a 25ms noise floor:
 //
-//	duetbench -json BENCH_NEW.json -baseline BENCH_PR4.json -scale tiny
+//	duetbench -json BENCH_NEW.json -baseline BENCH_PR5.json -scale tiny
 package main
 
 import (

@@ -25,6 +25,18 @@
 //	GET  /healthz                                                              -> service health
 //	GET  /stats                                                                -> router + engine counters
 //
+// With a "lifecycle" block in the manifest, the service maintains itself: it
+// ingests new rows, tracks drift (per-column distribution shift of ingested
+// rows against the trained snapshot, rolling q-error of observed
+// cardinalities), and when a threshold trips it retrains in the background —
+// fine-tuning when dictionaries are unchanged, training from scratch when
+// they grew — saves a versioned model file ("<name>.v<N>.duet" + current
+// pointer), and hot-swaps drain-safely:
+//
+//	POST /ingest                {"model": "orders", "rows": [[3, "x"], ...]}   -> rows appended + drift
+//	POST /feedback              {"model": "orders", "query": "amount<=100", "card": 1234}
+//	GET  /lifecycle                                                            -> per-model drift + retrain state
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops, open
 // requests finish, and every estimator drains before the process exits.
 package main
@@ -80,6 +92,12 @@ func main() {
 		},
 	})
 	defer reg.Close()
+	var lc *duet.Lifecycle
+	defer func() {
+		if lc != nil {
+			lc.Close() // deferred after reg.Close, so it runs first (LIFO)
+		}
+	}()
 
 	switch {
 	case *manifestPath != "":
@@ -94,6 +112,12 @@ func main() {
 			log.Printf("join views built and saved under %s; exiting (-build-join)", *modelDir)
 			return
 		}
+		if man.Lifecycle != nil {
+			if lc, err = startLifecycle(reg, man, *modelDir); err != nil {
+				fatal(err)
+			}
+			log.Printf("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle (versioned models under %s)", *modelDir)
+		}
 	case *csvPath != "" || *syn != "":
 		if err := registerSingle(reg, *csvPath, *syn, *rows, *seed, *modelPath, *train); err != nil {
 			fatal(err)
@@ -102,7 +126,7 @@ func main() {
 		fatal(fmt.Errorf("pass -manifest FILE, -csv FILE, or -syn dmv|kdd|census"))
 	}
 
-	srv := &server{reg: reg, start: time.Now()}
+	srv := &server{reg: reg, lc: lc, start: time.Now()}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.newMux(),
@@ -131,6 +155,9 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Println("shutdown:", err)
+		}
+		if lc != nil {
+			lc.Close() // waits out in-flight retrains before the registry drains
 		}
 		if err := reg.Close(); err != nil {
 			log.Println("registry close:", err)

@@ -13,12 +13,70 @@ import (
 )
 
 // Manifest describes a multi-model deployment: base-table models plus join
-// views, each optionally backed by a model file under the model directory.
+// views, each optionally backed by a model file under the model directory,
+// and — optionally — the lifecycle policy that keeps them retrained.
 type Manifest struct {
 	// Models are base-table estimators.
 	Models []ModelSpec `json:"models"`
 	// Joins are join views over two named base tables.
 	Joins []JoinViewSpec `json:"joins"`
+	// Lifecycle, when present, enables the drift-aware background retraining
+	// subsystem over every manifest model: POST /ingest appends rows, POST
+	// /feedback records observed cardinalities, and when a threshold trips
+	// the model retrains in the background and hot-swaps with zero dropped
+	// requests. Versioned model files ("<name>.v<N>.duet" + current pointer)
+	// land in the model directory.
+	Lifecycle *LifecycleSpec `json:"lifecycle,omitempty"`
+}
+
+// LifecycleSpec is the manifest's lifecycle policy block. Zero fields keep
+// the supervisor defaults; a threshold of 0 disables that signal.
+type LifecycleSpec struct {
+	// MaxMedianQErr trips retraining when the rolling median q-error of
+	// feedback observations exceeds it.
+	MaxMedianQErr float64 `json:"max_median_qerr,omitempty"`
+	// MinFeedback is the observation count required before the feedback
+	// signal may trip (default 16).
+	MinFeedback int `json:"min_feedback,omitempty"`
+	// FeedbackWindow caps the rolling feedback window (default 256).
+	FeedbackWindow int `json:"feedback_window,omitempty"`
+	// MaxColumnDrift trips retraining when any column's total-variation
+	// distance between ingested rows and the trained snapshot exceeds it.
+	MaxColumnDrift float64 `json:"max_column_drift,omitempty"`
+	// MinAppended is the ingested-row count required before the data signal
+	// may trip (default 64).
+	MinAppended int `json:"min_appended,omitempty"`
+	// MinIntervalS is the minimum seconds between retrains of one model.
+	MinIntervalS float64 `json:"min_interval_s,omitempty"`
+	// MaxConcurrent bounds simultaneous retrains across models (default 1).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// TrainEpochs overrides the full-retrain epoch count.
+	TrainEpochs int `json:"train_epochs,omitempty"`
+	// FineTuneSteps overrides the fine-tune gradient step count.
+	FineTuneSteps int `json:"finetune_steps,omitempty"`
+	// CheckIntervalMS is the worker poll interval in milliseconds.
+	CheckIntervalMS int `json:"check_interval_ms,omitempty"`
+}
+
+// policy renders the block as a supervisor policy.
+func (ls *LifecycleSpec) policy() duet.LifecyclePolicy {
+	pol := duet.LifecyclePolicy{
+		MaxMedianQErr:  ls.MaxMedianQErr,
+		MinFeedback:    ls.MinFeedback,
+		FeedbackWindow: ls.FeedbackWindow,
+		MaxColumnDrift: ls.MaxColumnDrift,
+		MinAppended:    ls.MinAppended,
+		MinInterval:    time.Duration(ls.MinIntervalS * float64(time.Second)),
+		MaxConcurrent:  ls.MaxConcurrent,
+		TrainEpochs:    ls.TrainEpochs,
+		CheckInterval:  time.Duration(ls.CheckIntervalMS) * time.Millisecond,
+	}
+	if ls.FineTuneSteps > 0 {
+		ft := duet.DefaultFineTuneConfig()
+		ft.Steps = ls.FineTuneSteps
+		pol.FineTune = ft
+	}
+	return pol
 }
 
 // ServeSpec overrides the registry-wide serving-engine configuration for one
@@ -136,6 +194,17 @@ func loadManifest(path string) (*Manifest, error) {
 	}
 	if len(m.Models) == 0 {
 		return nil, fmt.Errorf("manifest %s: no models", path)
+	}
+	if ls := m.Lifecycle; ls != nil {
+		if ls.MaxMedianQErr < 0 || ls.MaxColumnDrift < 0 || ls.MinIntervalS < 0 {
+			return nil, fmt.Errorf("manifest %s: lifecycle thresholds must be >= 0", path)
+		}
+		if ls.MaxColumnDrift > 1 {
+			return nil, fmt.Errorf("manifest %s: lifecycle max_column_drift is a total-variation distance in [0,1], got %v", path, ls.MaxColumnDrift)
+		}
+		if ls.MaxMedianQErr == 0 && ls.MaxColumnDrift == 0 {
+			return nil, fmt.Errorf("manifest %s: lifecycle needs max_median_qerr or max_column_drift > 0; with both disabled it would never retrain", path)
+		}
 	}
 	names := map[string]bool{}
 	for _, ms := range m.Models {
@@ -350,6 +419,44 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		}
 	}
 	return nil
+}
+
+// startLifecycle creates the supervisor declared by the manifest's lifecycle
+// block and places every manifest model under management, so ingest and
+// feedback drive drift-aware background retraining with versioned saves into
+// the model directory. Legacy two-table join views are skipped — they have no
+// registered rebuild substrate; join-graph views (sampled or not) retrain
+// from their base tables.
+func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string) (*duet.Lifecycle, error) {
+	lc := duet.NewLifecycle(reg, man.Lifecycle.policy(), duet.LifecycleOptions{
+		Dir:  modelDir,
+		Logf: log.Printf,
+	})
+	manage := func(name string, large bool, epochs int) error {
+		tc := duet.DefaultTrainConfig()
+		tc.Lambda = 0
+		if epochs > 0 {
+			tc.Epochs = epochs
+		}
+		return lc.Manage(name, duet.LifecycleManageOpts{Config: modelConfig(large), Train: tc})
+	}
+	for _, ms := range man.Models {
+		if err := manage(ms.Name, ms.Large, epochsOrDefault(ms.TrainEpochs)); err != nil {
+			lc.Close()
+			return nil, err
+		}
+	}
+	for _, js := range man.Joins {
+		if !js.graph() {
+			log.Printf("%s: legacy two-table join views are not lifecycle-managed; skipping", js.Name)
+			continue
+		}
+		if err := manage(js.Name, js.Large, epochsOrDefault(js.TrainEpochs)); err != nil {
+			lc.Close()
+			return nil, err
+		}
+	}
+	return lc, nil
 }
 
 // materialize builds the join view's table and registration options: a

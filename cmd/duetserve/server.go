@@ -12,9 +12,11 @@ import (
 	"duet"
 )
 
-// server exposes a model registry over HTTP.
+// server exposes a model registry — and, when the manifest enables it, the
+// lifecycle subsystem — over HTTP.
 type server struct {
 	reg   *duet.Registry
+	lc    *duet.Lifecycle // nil when the manifest has no "lifecycle" block
 	start time.Time
 }
 
@@ -24,6 +26,9 @@ func (s *server) newMux() *http.ServeMux {
 	mux.HandleFunc("POST /estimate", s.estimate)
 	mux.HandleFunc("GET /models", s.models)
 	mux.HandleFunc("POST /models/{name}/reload", s.reload)
+	mux.HandleFunc("POST /ingest", s.ingest)
+	mux.HandleFunc("POST /feedback", s.feedback)
+	mux.HandleFunc("GET /lifecycle", s.lifecycle)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /stats", s.stats)
 	return mux
@@ -95,6 +100,123 @@ func (s *server) estimateBatch(r *http.Request, req estimateRequest) ([]string, 
 	return names, cards, nil
 }
 
+// ingestRequest appends rows to a managed model's backing table. Row values
+// may be JSON strings or numbers; they are parsed by each column's kind.
+type ingestRequest struct {
+	Model string  `json:"model"`
+	Rows  [][]any `json:"rows"`
+}
+
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	if s.lc == nil {
+		httpError(w, http.StatusNotFound, errLifecycleDisabled)
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Model == "" || len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"model" and a non-empty "rows" are required`))
+		return
+	}
+	rows := make([][]string, len(req.Rows))
+	for i, row := range req.Rows {
+		rows[i] = make([]string, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case string:
+				rows[i][j] = x
+			case json.Number:
+				rows[i][j] = x.String()
+			default:
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("rows[%d][%d]: values must be strings or numbers, got %T", i, j, v))
+				return
+			}
+		}
+	}
+	res, err := s.lc.Ingest(req.Model, rows)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// feedbackRequest records observed true cardinalities: a single query+card
+// pair, a batch of items, or both.
+type feedbackRequest struct {
+	Model string         `json:"model"`
+	Query string         `json:"query,omitempty"`
+	Card  *int64         `json:"card,omitempty"`
+	Items []feedbackItem `json:"items,omitempty"`
+}
+
+type feedbackItem struct {
+	Query string `json:"query"`
+	Card  int64  `json:"card"`
+}
+
+func (s *server) feedback(w http.ResponseWriter, r *http.Request) {
+	if s.lc == nil {
+		httpError(w, http.StatusNotFound, errLifecycleDisabled)
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	items := req.Items
+	if req.Query != "" {
+		if req.Card == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`"query" needs a "card"`))
+			return
+		}
+		items = append(items, feedbackItem{Query: req.Query, Card: *req.Card})
+	}
+	if req.Model == "" || len(items) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"model" and at least one query+card are required`))
+		return
+	}
+	results := make([]duet.FeedbackResult, len(items))
+	for i, it := range items {
+		res, err := s.lc.Feedback(req.Model, it.Query, it.Card)
+		if err != nil {
+			// Items before i are already committed to the rolling window; the
+			// response says how many, so a client retry can resume at the
+			// failed item instead of double-counting the recorded ones.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(statusFor(err))
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error":    fmt.Errorf("items[%d]: %w", i, err).Error(),
+				"recorded": i,
+			})
+			return
+		}
+		results[i] = res
+	}
+	if req.Query != "" && len(req.Items) == 0 {
+		writeJSON(w, results[0])
+		return
+	}
+	writeJSON(w, map[string]any{"results": results})
+}
+
+func (s *server) lifecycle(w http.ResponseWriter, _ *http.Request) {
+	if s.lc == nil {
+		httpError(w, http.StatusNotFound, errLifecycleDisabled)
+		return
+	}
+	writeJSON(w, map[string]any{"models": s.lc.Stats()})
+}
+
+var errLifecycleDisabled = errors.New(`lifecycle is not enabled; add a "lifecycle" block to the manifest`)
+
 func (s *server) models(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"models": s.reg.Info()})
 }
@@ -127,7 +249,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, duet.ErrRegistryClosed) || errors.Is(err, duet.ErrEstimatorClosed):
 		return http.StatusServiceUnavailable
-	case strings.Contains(err.Error(), "unknown model"):
+	case strings.Contains(err.Error(), "unknown model"),
+		strings.Contains(err.Error(), "is not managed"):
 		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest

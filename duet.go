@@ -95,6 +95,7 @@ import (
 
 	"duet/internal/core"
 	"duet/internal/exec"
+	"duet/internal/lifecycle"
 	"duet/internal/registry"
 	"duet/internal/relation"
 	"duet/internal/serve"
@@ -140,6 +141,10 @@ type (
 	TrainConfig = core.TrainConfig
 	// EpochStats summarizes a training epoch.
 	EpochStats = core.EpochStats
+	// FineTuneConfig controls post-deployment fine-tuning on collected
+	// queries (the paper's long-tail mitigation; the lifecycle subsystem
+	// runs it automatically on observed feedback).
+	FineTuneConfig = core.FineTuneConfig
 )
 
 // New builds an untrained Duet model for a table.
@@ -159,6 +164,15 @@ func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
 // Train fits a model; pass a labeled workload in cfg.Workload for hybrid
 // training, or leave it empty for the data-only DuetD variant.
 func Train(m *Model, cfg TrainConfig) []EpochStats { return core.Train(m, cfg) }
+
+// DefaultFineTuneConfig returns conservative fine-tuning defaults.
+func DefaultFineTuneConfig() FineTuneConfig { return core.DefaultFineTuneConfig() }
+
+// FineTune tunes a model on queries with large observed errors (smoothed
+// Q-Error loss only), returning the mean loss per step.
+func FineTune(m *Model, bad []LabeledQuery, cfg FineTuneConfig) []float64 {
+	return core.FineTune(m, bad, cfg)
+}
 
 // LoadModel restores a model saved with Model.Save, validated against t.
 func LoadModel(r io.Reader, t *Table) (*Model, error) { return core.Load(r, t) }
@@ -189,6 +203,9 @@ func Pred(t *Table, column string, op Op, value int64) Predicate {
 		panic(fmt.Sprintf("duet: unknown column %q", column))
 	}
 	code, exact := t.Cols[ci].CodeOfInt(value)
+	if int(code) >= t.Cols[ci].NumDistinct() {
+		return workload.DegeneratePredicate(ci, op, t.Cols[ci].NumDistinct())
+	}
 	if op == OpEq && !exact {
 		// Encode an always-false equality: code outside any value maps to an
 		// empty interval via Lo > Hi when clamped by ColumnIntervals.
@@ -390,3 +407,52 @@ func JoinGraphCardinality(tables []*Table, edges []JoinEdge) (int64, error) {
 // ParseQuery parses a conjunctive WHERE-style expression against a table,
 // translating raw values to dictionary codes with lower-bound semantics.
 func ParseQuery(t *Table, s string) (Query, error) { return workload.ParseQuery(t, s) }
+
+// AppendRows returns a new table extending t with raw-valued rows (one string
+// per column, parsed by the column's kind). Copy-on-write: t is never
+// mutated, and columns that see fresh values get merged dictionaries with
+// every existing code remapped — the ingest substrate of the lifecycle
+// subsystem.
+func AppendRows(t *Table, rows [][]string) (*Table, error) { return relation.AppendRows(t, rows) }
+
+// SwapOpts refines Registry.SwapModel, the drain-safe in-memory model install
+// path (no disk round-trip; a background retrain swaps its result straight
+// in).
+type SwapOpts = registry.SwapOpts
+
+// Lifecycle types, re-exported from internal/lifecycle: the drift-aware
+// background retraining subsystem that turns a registry into a
+// self-maintaining serving system.
+type (
+	// Lifecycle supervises managed models: it ingests rows, tracks drift
+	// (per-column distribution shift and rolling feedback q-error), and
+	// retrains + hot-swaps in the background when the policy trips.
+	Lifecycle = lifecycle.Supervisor
+	// LifecyclePolicy sets the drift thresholds, retrain cadence, and
+	// concurrency budget.
+	LifecyclePolicy = lifecycle.Policy
+	// LifecycleOptions sets the versioned-model directory and observers.
+	LifecycleOptions = lifecycle.Options
+	// LifecycleManageOpts configures one managed model (architecture and
+	// full-retrain training config).
+	LifecycleManageOpts = lifecycle.ManageOpts
+	// LifecycleModelStats is the externally visible lifecycle state of one
+	// managed model (GET /lifecycle in duetserve).
+	LifecycleModelStats = lifecycle.ModelStats
+	// RetrainStats summarizes one background retrain attempt.
+	RetrainStats = lifecycle.RetrainStats
+	// IngestResult reports one ingest batch (rows appended, drift signal).
+	IngestResult = lifecycle.IngestResult
+	// FeedbackResult reports one observed-cardinality feedback record.
+	FeedbackResult = lifecycle.FeedbackResult
+)
+
+// NewLifecycle starts a lifecycle supervisor (and its background retrain
+// worker) over a registry. Register served models with Lifecycle.Manage, feed
+// it rows (Ingest) and observed true cardinalities (Feedback), and it
+// retrains and hot-swaps on drift — fine-tuning in place when dictionaries
+// are unchanged, training from scratch (streamed for sampled join-graph
+// views) when they grew. Close it before closing the registry.
+func NewLifecycle(reg *Registry, pol LifecyclePolicy, opt LifecycleOptions) *Lifecycle {
+	return lifecycle.NewSupervisor(reg, pol, opt)
+}

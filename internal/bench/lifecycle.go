@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"duet/internal/core"
+	"duet/internal/registry"
+)
+
+// RetrainReport measures the lifecycle subsystem's two hot costs: how fast a
+// served model fine-tunes on observed feedback (tuples/s, where one tuple is
+// one query the fine-tune step consumed) and how long the registry's
+// drain-safe in-memory swap takes to install a retrained generation. Both
+// figures feed the -json perf snapshot (retrain_tuples_per_s,
+// swap_latency_ms) and the trend gate.
+type RetrainReport struct {
+	FineTuneSteps     int
+	FineTuneQueries   int // queries per step
+	RetrainTuplesPerS float64
+	Swaps             int
+	SwapLatencyMS     float64 // mean per swap
+}
+
+// Retrain is experiment id "retrain": train a model on the census dataset,
+// collect its worst queries, fine-tune on them (the lifecycle fine-tune
+// path), then install retrained generations through Registry.SwapModel under
+// a serving registry and report the mean swap latency.
+func Retrain(w io.Writer, s Scale) (*RetrainReport, error) {
+	header(w, "Retrain: fine-tune throughput and hot-swap latency (lifecycle path)")
+	d, err := BuildDataset("census", s)
+	if err != nil {
+		return nil, err
+	}
+	m := TrainDuet(d, s, 0, nil)
+
+	bad := core.CollectBadQueries(m, d.RandQ, 1.2)
+	if len(bad) == 0 {
+		bad = d.RandQ
+	}
+	ft := core.DefaultFineTuneConfig()
+	ft.Steps = 40 * s.Epochs
+	rep := &RetrainReport{FineTuneSteps: ft.Steps, FineTuneQueries: ft.QueryBatch}
+	stop := timer()
+	core.FineTune(m, bad, ft)
+	dur := stop()
+	rep.RetrainTuplesPerS = float64(ft.Steps*ft.QueryBatch) / dur.Seconds()
+
+	// Swap latency: the registry serves the model; each iteration clones the
+	// current generation (what a lifecycle fine-tune produces) and installs
+	// it with the drain-safe in-memory swap.
+	reg := registry.New(registry.Config{})
+	defer reg.Close()
+	if err := reg.Add("census", d.Table, m, registry.AddOpts{}); err != nil {
+		return nil, err
+	}
+	const swaps = 5
+	var total time.Duration
+	for i := 0; i < swaps; i++ {
+		next, err := reg.CloneModelFor("census", d.Table)
+		if err != nil {
+			return nil, err
+		}
+		stop := timer()
+		if err := reg.SwapModel("census", next, registry.SwapOpts{}); err != nil {
+			return nil, err
+		}
+		total += stop()
+	}
+	rep.Swaps = swaps
+	rep.SwapLatencyMS = float64(total.Microseconds()) / 1e3 / swaps
+
+	fmt.Fprintf(w, "fine-tune: %d steps x %d queries on %d bad queries in %s -> %.0f tuples/s\n",
+		ft.Steps, ft.QueryBatch, len(bad), dur.Round(time.Millisecond), rep.RetrainTuplesPerS)
+	fmt.Fprintf(w, "hot swap: %d in-memory installs, mean %.3f ms\n", swaps, rep.SwapLatencyMS)
+	return rep, nil
+}

@@ -33,6 +33,10 @@ func Experiments() []Experiment {
 			_, err := JoinBuild(w, s)
 			return err
 		}},
+		{"retrain", "Retrain: lifecycle fine-tune throughput + hot-swap latency", func(w io.Writer, s Scale) error {
+			_, err := Retrain(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

@@ -46,6 +46,13 @@ type PerfReport struct {
 	JoinSampleBudget    int     `json:"join_sample_budget"`
 	JoinFOJRows         int64   `json:"join_foj_rows"`
 
+	// Lifecycle retraining (the Retrain experiment): fine-tune throughput
+	// (queries consumed per second by the feedback fine-tune path) and the
+	// mean latency of the registry's drain-safe in-memory model swap. Both
+	// are trend-gated (the latency inversely, with a noise floor).
+	RetrainTuplesPerS float64 `json:"retrain_tuples_per_s"`
+	SwapLatencyMS     float64 `json:"swap_latency_ms"`
+
 	ElapsedS float64 `json:"elapsed_s"`
 }
 
@@ -141,6 +148,13 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	rep.JoinPeakAllocBytes = jb.SampledAlloc
 	rep.JoinSampleBudget = jb.SampleBudget
 	rep.JoinFOJRows = jb.FOJRows
+
+	rt, err := Retrain(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.RetrainTuplesPerS = rt.RetrainTuplesPerS
+	rep.SwapLatencyMS = rt.SwapLatencyMS
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

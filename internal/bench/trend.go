@@ -42,5 +42,15 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 	check("cached q/s", r.CachedQPS, base.CachedQPS)
 	check("train tuples/s", r.TrainTuplesPerS, base.TrainTuplesPerS)
 	check("join build tuples/s", r.JoinBuildTuplesPerS, base.JoinBuildTuplesPerS)
+	check("retrain tuples/s", r.RetrainTuplesPerS, base.RetrainTuplesPerS)
+	// Latency gates are inverted — growth is the regression — and floored at
+	// 25ms: swaps are sub-millisecond, so tiny absolute values jitter with
+	// scheduler noise on shared CI runners; only a swap that got both slow in
+	// absolute terms and much slower than the baseline fails the gate.
+	if base.SwapLatencyMS > 0 && r.SwapLatencyMS > 25 && r.SwapLatencyMS > base.SwapLatencyMS*(1+maxDrop) {
+		regressions = append(regressions,
+			fmt.Sprintf("swap latency regressed: %.3f ms -> %.3f ms (baseline allows +%.0f%% above 25 ms)",
+				base.SwapLatencyMS, r.SwapLatencyMS, 100*maxDrop))
+	}
 	return regressions
 }

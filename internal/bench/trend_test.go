@@ -37,6 +37,25 @@ func TestCompareBaseline(t *testing.T) {
 	if len(regs) != 1 || !strings.Contains(regs[0], "join build tuples/s") {
 		t.Fatalf("join build regression not flagged: %v", regs)
 	}
+	// So is the lifecycle fine-tune throughput.
+	base = &PerfReport{RetrainTuplesPerS: 10000}
+	cur = &PerfReport{RetrainTuplesPerS: 5000}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "retrain tuples/s") {
+		t.Fatalf("retrain regression not flagged: %v", regs)
+	}
+	// Swap latency gates inversely, with a 25ms noise floor: jitter below the
+	// floor passes, genuine slowdowns above it fail.
+	base = &PerfReport{SwapLatencyMS: 0.05}
+	cur = &PerfReport{SwapLatencyMS: 0.4}
+	if regs := cur.CompareBaseline(base, 0.30); len(regs) != 0 {
+		t.Fatalf("sub-floor swap latency jitter flagged: %v", regs)
+	}
+	cur = &PerfReport{SwapLatencyMS: 60}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "swap latency") {
+		t.Fatalf("swap latency regression not flagged: %v", regs)
+	}
 }
 
 func TestLoadReportRoundtrip(t *testing.T) {

@@ -1,0 +1,352 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"duet/internal/core"
+	"duet/internal/registry"
+	"duet/internal/relation"
+	"duet/internal/workload"
+)
+
+// run is the background worker: every CheckInterval — or immediately when a
+// signal nudges it — it sweeps the managed models and schedules a retrain for
+// each one whose policy tripped, respecting MinInterval per model and
+// MaxConcurrent across models.
+func (s *Supervisor) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.pol.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		case <-s.poke:
+		}
+		s.sweep()
+	}
+}
+
+// sweep schedules retrains for every tripped, idle, rate-eligible model.
+func (s *Supervisor) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, mg := range s.models {
+		if mg.retraining || !s.trippedLocked(mg) {
+			continue
+		}
+		// Rate limit: the policy's MinInterval between successful retrains
+		// and, after a failure, an exponential backoff — a tripped signal
+		// stays tripped across failed attempts (counters only reset on
+		// success), so without backoff an unwritable model dir would loop
+		// full trains every CheckInterval.
+		wait := s.pol.MinInterval
+		if b := failureBackoff(mg.consecFails); b > wait {
+			wait = b
+		}
+		if wait > 0 && !mg.lastRetrain.IsZero() && time.Since(mg.lastRetrain) < wait {
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return // concurrency budget exhausted; the next sweep retries
+		}
+		mg.retraining = true
+		s.wg.Add(1)
+		go s.retrain(mg)
+	}
+}
+
+// retrain rebuilds one model off-line and installs it through the registry's
+// drain-safe swap. It runs without the supervisor lock: ingest, feedback and
+// serving continue throughout; rows ingested while it runs stay pending and
+// fold into the next retrain.
+func (s *Supervisor) retrain(mg *managed) {
+	defer func() { <-s.sem; s.wg.Done() }()
+	s.mu.Lock()
+	backing := mg.backing
+	feedback := mg.fb.records()
+	version := mg.version + 1
+	// Whether the data-side signal is (co-)responsible for this retrain: a
+	// distribution that shifted among existing dictionary values keeps the
+	// encodings compatible, but a feedback-only fine-tune would not learn it
+	// — and resetting the drift counters afterwards would mask the signal
+	// for good. Data drift therefore always forces the full-train path.
+	p := s.pol
+	dataTripped := mg.graph == nil && p.MaxColumnDrift > 0 &&
+		mg.pending >= p.MinAppended && mg.maxDrift() > p.MaxColumnDrift
+	s.mu.Unlock()
+
+	st := RetrainStats{Model: mg.name, Version: version, Rows: backing.NumRows(), Feedback: len(feedback)}
+	t0 := time.Now()
+	m, kind, err := s.buildModel(mg, backing, feedback, version, dataTripped)
+	st.TrainDuration = time.Since(t0)
+	st.Kind = kind
+	if err == nil && s.opt.Dir != "" {
+		st.Path, err = saveVersioned(s.opt.Dir, mg.name, version, m, s.pol.KeepVersions)
+	}
+	if err == nil {
+		t1 := time.Now()
+		err = s.reg.SwapModel(mg.name, m, registry.SwapOpts{Path: st.Path})
+		st.SwapLatency = time.Since(t1)
+	}
+	st.Err = err
+
+	s.mu.Lock()
+	mg.retraining = false
+	mg.lastRetrain = time.Now()
+	mg.lastKind = kind
+	mg.lastErr = err
+	if err != nil {
+		mg.failures++
+		mg.consecFails++
+	} else {
+		mg.consecFails = 0
+		mg.retrains++
+		if kind == KindFineTune {
+			mg.fineTunes++
+		} else {
+			mg.fullTrains++
+		}
+		mg.version = version
+		mg.lastSwap = st.SwapLatency
+		mg.lastPath = st.Path
+		// The new generation's snapshot is the table it trained on (for base
+		// tables that is `backing`, which mg.backing extends copy-on-write,
+		// so rows ingested mid-retrain are never lost). Drift accounting
+		// restarts against the new snapshot — mid-retrain rows reproject onto
+		// it — and the feedback window resets because its q-errors grade the
+		// replaced generation.
+		mg.table = m.Table()
+		if mg.graph != nil {
+			mg.backing = mg.table
+		} else {
+			mg.snap = snapshotHists(mg.table)
+			mg.pend, mg.pending, mg.fresh = reprojectPending(mg.table, mg.backing)
+		}
+		mg.fb.reset()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.logf("lifecycle: %s retrain v%d failed: %v", mg.name, version, err)
+	} else {
+		s.logf("lifecycle: %s v%d installed (%s, %d rows, %d feedback, train %s, swap %s)",
+			mg.name, version, kind, st.Rows, st.Feedback, st.TrainDuration.Round(time.Millisecond), st.SwapLatency.Round(time.Microsecond))
+	}
+	if s.opt.OnRetrain != nil {
+		s.opt.OnRetrain(st)
+	}
+}
+
+// failureBackoff is the minimum delay before a model whose last retrain
+// failed may retry: exponential in the consecutive failure count, capped at
+// five minutes.
+func failureBackoff(failures uint64) time.Duration {
+	if failures == 0 {
+		return 0
+	}
+	if failures > 9 {
+		failures = 9
+	}
+	b := time.Second << (failures - 1)
+	if b > 5*time.Minute {
+		b = 5 * time.Minute
+	}
+	return b
+}
+
+// reprojectPending restarts drift accounting after a swap: rows the live
+// backing table holds beyond the freshly trained snapshot (ingested while the
+// retrain ran) are projected onto the new snapshot's dictionaries, so the
+// next trip decision measures drift against the generation actually serving.
+func reprojectPending(snapshot, live *relation.Table) (pend [][]float64, pending, fresh int) {
+	pend = emptyCounts(snapshot)
+	pending = live.NumRows() - snapshot.NumRows()
+	for r := snapshot.NumRows(); r < live.NumRows(); r++ {
+		for ci, c := range live.Cols {
+			raw := c.ValueString(c.Codes[r])
+			code, exact, err := snapshot.Cols[ci].ProjectValue(raw)
+			if err != nil {
+				continue
+			}
+			pend[ci][code]++
+			if !exact {
+				fresh++
+			}
+		}
+	}
+	return pend, pending, fresh
+}
+
+// buildModel produces the replacement generation: for base tables, a clone +
+// fine-tune when the grown table kept the trained encodings, feedback exists
+// to tune on, and the data-side drift signal is quiet (a feedback-only
+// fine-tune cannot learn a shifted data distribution, so data drift forces
+// the full path even when encodings held); otherwise a full train on the
+// grown table (with the feedback as hybrid workload when the train config
+// weights query loss). Join-graph views always rebuild in full from the
+// registered base tables — materialized for exact views, streamed through a
+// fresh JoinSampler for sampled ones.
+func (s *Supervisor) buildModel(mg *managed, backing *relation.Table, feedback []fbRec, version int, dataTripped bool) (*core.Model, RetrainKind, error) {
+	if mg.graph != nil {
+		m, err := s.rebuildGraphView(mg, version)
+		return m, KindFullTrain, err
+	}
+	lqs := labelFeedback(backing, feedback)
+	if !dataTripped && len(lqs) > 0 {
+		if clone, err := s.reg.CloneModelFor(mg.name, backing); err == nil {
+			core.FineTune(clone, lqs, s.pol.FineTune)
+			return clone, KindFineTune, nil
+		}
+	}
+	m := core.NewModel(backing, mg.cfg)
+	tc := mg.train
+	if s.pol.TrainEpochs > 0 {
+		tc.Epochs = s.pol.TrainEpochs
+	}
+	if tc.Lambda > 0 && len(lqs) > 0 {
+		tc.Workload = lqs
+	}
+	core.Train(m, tc)
+	return m, KindFullTrain, nil
+}
+
+// rebuildGraphView re-materializes a join-graph view from its registered base
+// tables and trains a fresh model over it. Sampled views draw a fresh budget
+// sample and stream their training tuples (TrainConfig.Source), so rebuild
+// memory stays O(base rows + budget) however large the join is.
+func (s *Supervisor) rebuildGraphView(mg *managed, version int) (*core.Model, error) {
+	spec := mg.graph
+	tables := make([]*relation.Table, len(spec.Tables))
+	for i, bn := range spec.Tables {
+		t, err := s.reg.Table(bn)
+		if err != nil {
+			return nil, fmt.Errorf("lifecycle: rebuild %q: base table %q: %w", mg.name, bn, err)
+		}
+		tables[i] = t
+	}
+	edges := make([]relation.JoinEdge, len(spec.Edges))
+	for i, e := range spec.Edges {
+		edges[i] = e.Edge()
+	}
+	g := &relation.JoinGraph{Tables: tables, Edges: edges}
+	tc := mg.train
+	if s.pol.TrainEpochs > 0 {
+		tc.Epochs = s.pol.TrainEpochs
+	}
+	var view *relation.Table
+	if spec.Sample > 0 {
+		sampler, err := relation.NewJoinSampler(g, relation.JoinSamplerConfig{Seed: int64(version)})
+		if err != nil {
+			return nil, err
+		}
+		if view, err = sampler.SampleTable(mg.name, spec.Sample); err != nil {
+			return nil, err
+		}
+		tc.Source = sampler
+		tc.SourceRows = spec.Sample
+	} else {
+		var err error
+		if view, err = relation.MultiJoin(mg.name, g); err != nil {
+			return nil, err
+		}
+	}
+	m := core.NewModel(view, mg.cfg)
+	core.Train(m, tc)
+	return m, nil
+}
+
+// labelFeedback resolves feedback expressions against the grown table,
+// producing the labeled workload a fine-tune (or hybrid retrain) consumes.
+// Expressions that no longer parse — e.g. they qualify joined tables, or name
+// a dropped column — are skipped rather than failing the retrain.
+func labelFeedback(t *relation.Table, feedback []fbRec) []workload.LabeledQuery {
+	var out []workload.LabeledQuery
+	for _, r := range feedback {
+		q, err := workload.ParseQuery(t, r.expr)
+		if err != nil {
+			continue
+		}
+		out = append(out, workload.LabeledQuery{Query: q, Card: r.card})
+	}
+	return out
+}
+
+// currentPointer is the on-disk "<name>.current.json" payload naming the live
+// versioned model file.
+type currentPointer struct {
+	Model   string    `json:"model"`
+	Version int       `json:"version"`
+	Path    string    `json:"path"` // versioned file name, relative to the pointer
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// saveVersioned persists a retrained generation as "<name>.v<N>.duet" and
+// atomically refreshes the "<name>.current.json" pointer, both via
+// temp-file + rename so a crash mid-save never leaves a half-written current
+// generation (and the registry watcher's settle debounce guards the rest).
+// Versions older than the newest keep are pruned afterwards.
+func saveVersioned(dir, name string, version int, m *core.Model, keep int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	file := fmt.Sprintf("%s.v%d.duet", name, version)
+	path := filepath.Join(dir, file)
+	tmp, err := os.CreateTemp(dir, file+".tmp*")
+	if err != nil {
+		return "", err
+	}
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	ptr, err := json.MarshalIndent(currentPointer{Model: name, Version: version, Path: file, SavedAt: time.Now().UTC()}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	ptrPath := filepath.Join(dir, name+".current.json")
+	ptrTmp := ptrPath + ".tmp"
+	if err := os.WriteFile(ptrTmp, append(ptr, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(ptrTmp, ptrPath); err != nil {
+		return "", err
+	}
+	pruneVersions(dir, name, version, keep)
+	return path, nil
+}
+
+// pruneVersions removes versioned model files older than the newest keep.
+// Pruning runs after every save, so older generations are already gone —
+// the walk stops at the first missing file.
+func pruneVersions(dir, name string, current, keep int) {
+	if keep <= 0 {
+		return
+	}
+	for v := current - keep; v > 0; v-- {
+		path := filepath.Join(dir, fmt.Sprintf("%s.v%d.duet", name, v))
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				return
+			}
+		}
+	}
+}

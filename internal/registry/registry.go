@@ -53,6 +53,10 @@ type Config struct {
 	// admin-triggered) with the error it produced. Called from the reloading
 	// goroutine; keep it fast.
 	OnReload func(name string, err error)
+	// OnSwap, when non-nil, observes every completed SwapModel (the
+	// lifecycle subsystem's in-memory install path) with the error it
+	// produced. Called from the swapping goroutine; keep it fast.
+	OnSwap func(name string, err error)
 }
 
 // JoinSpec names the equi-join a view was materialized from:
@@ -90,13 +94,16 @@ type entry struct {
 
 	// Mutable state, guarded by Registry.mu: the current estimator
 	// generation, the model file ("" for purely in-memory models; SaveModel
-	// arms it), and the file mtime at last load (watcher bookkeeping).
+	// arms it), and the file size+mtime at last load (watcher bookkeeping —
+	// the pair forms the debounce signature).
 	h       *handle
 	path    string
 	modTime time.Time
+	modSize int64
 
-	reloadMu sync.Mutex // serializes reloads of this entry
+	reloadMu sync.Mutex // serializes reloads and swaps of this entry
 	reloads  atomic.Uint64
+	swaps    atomic.Uint64
 }
 
 // ModelInfo is a snapshot of one registered model for listings and stats.
@@ -110,6 +117,7 @@ type ModelInfo struct {
 	Path       string         `json:"path,omitempty"`
 	ModelBytes int64          `json:"model_bytes"`
 	Reloads    uint64         `json:"reloads"`
+	Swaps      uint64         `json:"swaps"`
 	Serve      serve.Stats    `json:"serve"`
 }
 
@@ -204,16 +212,17 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 		path = r.ModelPath(name)
 	}
 	var modTime time.Time
+	var modSize int64
 	if m == nil {
 		var err error
-		if m, modTime, err = loadModelFile(path, t); err != nil {
+		if m, modTime, modSize, err = loadModelFile(path, t); err != nil {
 			return err
 		}
 	} else if path != "" {
 		// Caller-provided weights with a backing file: record the file's
-		// current mtime so the watcher only fires on a later change.
+		// current signature so the watcher only fires on a later change.
 		if fi, err := os.Stat(path); err == nil {
-			modTime = fi.ModTime()
+			modTime, modSize = fi.ModTime(), fi.Size()
 		}
 	}
 	if err := checkServable(m); err != nil {
@@ -231,6 +240,7 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 		graph:    graph,
 		serveCfg: serveCfg,
 		modTime:  modTime,
+		modSize:  modSize,
 		h:        &handle{model: m, est: serve.New(m, serveCfg)},
 	}
 	r.mu.Lock()
@@ -266,21 +276,7 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 				return fmt.Errorf("registry: join %s already served by view %q", opts.Graph.Edges[0], prev)
 			}
 		}
-		// Snapshot the registered base tables for subset fanout correction:
-		// prefer the model registered under the base table's name, falling
-		// back to any model serving a table of that name.
-		for bt := range graph.tables {
-			if be, ok := r.entries[bt]; ok && be.join == nil && be.graph == nil && be.table.Name == bt {
-				graph.base[bt] = be.table
-				continue
-			}
-			for _, be := range r.entries {
-				if be.join == nil && be.graph == nil && be.table.Name == bt {
-					graph.base[bt] = be.table
-					break
-				}
-			}
-		}
+		r.bindBaseTablesLocked(graph)
 		if graph.sampled {
 			// A sampled view's rows are a FOJ sample: every exact anchor —
 			// including the full edge set's — comes from the base tables, so
@@ -313,21 +309,21 @@ func checkServable(m *core.Model) error {
 	return nil
 }
 
-func loadModelFile(path string, t *relation.Table) (*core.Model, time.Time, error) {
+func loadModelFile(path string, t *relation.Table) (*core.Model, time.Time, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, time.Time{}, fmt.Errorf("registry: open model: %w", err)
+		return nil, time.Time{}, 0, fmt.Errorf("registry: open model: %w", err)
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, time.Time{}, err
+		return nil, time.Time{}, 0, err
 	}
 	m, err := core.Load(f, t)
 	if err != nil {
-		return nil, time.Time{}, fmt.Errorf("registry: load %s: %w", path, err)
+		return nil, time.Time{}, 0, fmt.Errorf("registry: load %s: %w", path, err)
 	}
-	return m, fi.ModTime(), nil
+	return m, fi.ModTime(), fi.Size(), nil
 }
 
 // SaveModel persists a model's current weights to its file (the Path it was
@@ -365,6 +361,7 @@ func (r *Registry) SaveModel(name string) (string, error) {
 	r.mu.Lock()
 	e.path = path
 	e.modTime = fi.ModTime()
+	e.modSize = fi.Size()
 	r.mu.Unlock()
 	return path, nil
 }
@@ -462,6 +459,7 @@ func (r *Registry) Info() []ModelInfo {
 			Join:    e.join,
 			Path:    e.path,
 			Reloads: e.reloads.Load(),
+			Swaps:   e.swaps.Load(),
 		}
 		if e.graph != nil {
 			spec := e.graph.spec
@@ -536,7 +534,7 @@ func (r *Registry) reload(name string) error {
 	}
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
-	m, modTime, err := loadModelFile(path, e.table)
+	m, modTime, modSize, err := loadModelFile(path, e.table)
 	if err != nil {
 		return err
 	}
@@ -553,6 +551,7 @@ func (r *Registry) reload(name string) error {
 	old := e.h
 	e.h = nh
 	e.modTime = modTime
+	e.modSize = modSize
 	r.mu.Unlock()
 	e.reloads.Add(1)
 	// Drain: every request that pinned the old generation did so before the
@@ -560,6 +559,129 @@ func (r *Registry) reload(name string) error {
 	old.wg.Wait()
 	old.est.Close()
 	return nil
+}
+
+// bindBaseTablesLocked snapshots the registered base tables a graph view's
+// subset fanout correction needs: prefer the model registered under the base
+// table's name, falling back to any model serving a table of that name.
+// Callers hold r.mu for writing.
+func (r *Registry) bindBaseTablesLocked(graph *graphView) {
+	for bt := range graph.tables {
+		if be, ok := r.entries[bt]; ok && be.join == nil && be.graph == nil && be.table.Name == bt {
+			graph.base[bt] = be.table
+			continue
+		}
+		for _, be := range r.entries {
+			if be.join == nil && be.graph == nil && be.table.Name == bt {
+				graph.base[bt] = be.table
+				break
+			}
+		}
+	}
+}
+
+// SwapOpts refines SwapModel.
+type SwapOpts struct {
+	// Path, when set, is recorded as the entry's model file — its reload and
+	// watch target — without re-reading it (the weights were just installed
+	// from memory). The file's current size and mtime are snapshotted so the
+	// watcher does not re-trigger on the swap's own save.
+	Path string
+}
+
+// SwapModel atomically replaces a registered model — and the table it
+// serves, which becomes m.Table() — with in-memory state, no disk round
+// trip. It is the lifecycle subsystem's install path: a background retrain
+// builds the replacement off-line (typically over a table grown by ingested
+// rows, whose dictionaries the old generation could not serve) and swaps
+// table and model together, which is what keeps every generation internally
+// consistent. Drain-safety matches Reload: the handle swaps under the write
+// lock, and requests pinned to the old generation complete against it before
+// its engine closes, so no in-flight estimate is dropped or errored.
+// Join-graph views rebuild their routing state against the new view table;
+// the new table must keep the served table's name so router inference and
+// textual predicate qualifiers stay valid.
+func (r *Registry) SwapModel(name string, m *core.Model, opts SwapOpts) error {
+	err := r.swapModel(name, m, opts)
+	if cb := r.cfg.OnSwap; cb != nil {
+		cb(name, err)
+	}
+	return err
+}
+
+func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
+	if m == nil {
+		return errors.New("registry: SwapModel needs a model")
+	}
+	if err := checkServable(m); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("registry: unknown model %q", name)
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	nt := m.Table()
+	if nt.Name != e.table.Name {
+		return fmt.Errorf("registry: swap %q: model serves table %q, entry serves %q", name, nt.Name, e.table.Name)
+	}
+	var graph *graphView
+	if e.graph != nil {
+		var err error
+		if graph, err = newGraphView(e.graph.spec, nt); err != nil {
+			return fmt.Errorf("registry: swap %q: %w", name, err)
+		}
+	}
+	var modTime time.Time
+	var modSize int64
+	if opts.Path != "" {
+		if fi, err := os.Stat(opts.Path); err == nil {
+			modTime, modSize = fi.ModTime(), fi.Size()
+		}
+	}
+	nh := &handle{model: m, est: serve.New(m, e.serveCfg)}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		nh.est.Close()
+		return ErrClosed
+	}
+	old := e.h
+	e.h = nh
+	e.table = nt
+	if graph != nil {
+		r.bindBaseTablesLocked(graph)
+		e.graph = graph
+	}
+	if opts.Path != "" {
+		e.path, e.modTime, e.modSize = opts.Path, modTime, modSize
+	}
+	r.mu.Unlock()
+	e.swaps.Add(1)
+	old.wg.Wait()
+	old.est.Close()
+	return nil
+}
+
+// CloneModelFor pins the named model's current generation and clones it onto
+// t (core.Model.CloneFor): the read-only weight copy a lifecycle fine-tune
+// starts from. The clone shares no state with the serving model; the error
+// reports encoding incompatibility when t's dictionaries grew past the
+// trained profile, which is the signal to train a fresh model instead.
+func (r *Registry) CloneModelFor(name string, t *relation.Table) (*core.Model, error) {
+	_, h, err := r.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer h.wg.Done()
+	return h.model.CloneFor(t)
 }
 
 // Close stops the watcher and drains and closes every estimator. Subsequent

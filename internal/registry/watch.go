@@ -5,21 +5,36 @@ import (
 	"time"
 )
 
+// fileSig is one observed on-disk state of a model file. The watcher requires
+// an identical signature on two consecutive polls before reloading, so a file
+// mid-write — still growing, or being rewritten by a background saver — is
+// never loaded half-baked.
+type fileSig struct {
+	size    int64
+	modTime time.Time
+}
+
+func (a fileSig) equal(b fileSig) bool { return a.size == b.size && a.modTime.Equal(b.modTime) }
+
 // watch is the hot-reload poller: every interval it stats each file-backed
-// model and reloads the ones whose file modification time moved. Polling
-// (rather than inotify) keeps the registry on the standard library and works
-// on every platform and filesystem; the interval bounds staleness, and the
-// reload itself is the same drain-safe swap the admin endpoint uses.
+// model and reloads the ones whose file changed AND settled. Polling (rather
+// than inotify) keeps the registry on the standard library and works on every
+// platform and filesystem; the interval bounds staleness, and the reload
+// itself is the same drain-safe swap the admin endpoint uses. The settle
+// requirement (same size+mtime across two polls) debounces mid-write
+// mtime churn: with background retrains saving versioned files next to the
+// watched ones, a partially written model must never be loaded.
 func (r *Registry) watch(interval time.Duration) {
 	defer close(r.watchDone)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	pending := make(map[string]fileSig)
 	for {
 		select {
 		case <-r.watchStop:
 			return
 		case <-ticker.C:
-			for _, name := range r.staleModels() {
+			for _, name := range r.watchTick(pending) {
 				// Reload re-checks staleness implicitly: it records the mtime
 				// it loaded, so a concurrent admin reload just wins the race.
 				_ = r.Reload(name)
@@ -28,28 +43,50 @@ func (r *Registry) watch(interval time.Duration) {
 	}
 }
 
-// staleModels lists file-backed models whose on-disk mtime differs from the
-// one loaded. A vanished file is not stale — the last good model keeps
-// serving until the file reappears.
-func (r *Registry) staleModels() []string {
+// watchTick performs one poll: it probes every file-backed model, remembers
+// candidates whose on-disk signature differs from the loaded one, and returns
+// the names whose candidate signature held steady since the previous poll.
+// pending is the watcher's cross-poll candidate memory, updated in place; a
+// file that keeps changing keeps deferring, and one that reverts to the
+// loaded signature is dropped. A vanished file is not stale — the last good
+// model keeps serving until the file reappears.
+func (r *Registry) watchTick(pending map[string]fileSig) []string {
 	type probe struct {
-		name    string
-		path    string
-		modTime time.Time
+		name   string
+		path   string
+		loaded fileSig
 	}
 	r.mu.RLock()
 	probes := make([]probe, 0, len(r.entries))
 	for _, e := range r.entries {
 		if e.path != "" {
-			probes = append(probes, probe{e.name, e.path, e.modTime})
+			probes = append(probes, probe{e.name, e.path, fileSig{e.modSize, e.modTime}})
 		}
 	}
 	r.mu.RUnlock()
-	var stale []string
+	var ready []string
+	stale := make(map[string]bool, len(probes))
 	for _, p := range probes {
-		if fi, err := os.Stat(p.path); err == nil && !fi.ModTime().Equal(p.modTime) {
-			stale = append(stale, p.name)
+		fi, err := os.Stat(p.path)
+		if err != nil {
+			continue
+		}
+		sig := fileSig{fi.Size(), fi.ModTime()}
+		if sig.equal(p.loaded) {
+			continue
+		}
+		stale[p.name] = true
+		if prev, ok := pending[p.name]; ok && prev.equal(sig) {
+			delete(pending, p.name)
+			ready = append(ready, p.name)
+			continue
+		}
+		pending[p.name] = sig
+	}
+	for name := range pending {
+		if !stale[name] {
+			delete(pending, name)
 		}
 	}
-	return stale
+	return ready
 }

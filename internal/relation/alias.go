@@ -1,0 +1,70 @@
+package relation
+
+import "math/rand"
+
+// aliasTable is a Walker/Vose alias structure over a non-negative weight
+// vector: draw returns index i with probability w[i]/Σw in O(1) — one bucket
+// pick plus one threshold comparison — replacing a binary-search descent over
+// cumulative weights (O(log n), with n = base rows + dangling rows for the
+// join sampler's anchor choice). Construction is O(n).
+type aliasTable struct {
+	prob  []float64 // per-bucket acceptance threshold, scaled to [0, 1]
+	alias []int32   // index drawn when the threshold rejects
+}
+
+// newAliasTable builds the table with Vose's two-worklist method: buckets are
+// scaled to mean 1, under-full buckets are topped up from over-full ones, and
+// every bucket ends up holding at most two indices. Weights must be
+// non-negative with a positive sum.
+func newAliasTable(w []float64) aliasTable {
+	n := len(w)
+	at := aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		at.prob[s] = scaled[s]
+		at.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers sit within float rounding of exactly 1: saturate them.
+	for _, i := range large {
+		at.prob[i] = 1
+		at.alias[i] = i
+	}
+	for _, i := range small {
+		at.prob[i] = 1
+		at.alias[i] = i
+	}
+	return at
+}
+
+// draw samples one index proportionally to the construction weights.
+func (at aliasTable) draw(rng *rand.Rand) int32 {
+	i := int32(rng.Intn(len(at.prob)))
+	if rng.Float64() < at.prob[i] {
+		return i
+	}
+	return at.alias[i]
+}

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"strconv"
+)
+
+// AppendRows returns a new table extending t with the given rows. Each row
+// carries one raw value per column (the CSV convention), parsed by the
+// column's fixed kind — appending never re-infers kinds. The input table is
+// NEVER mutated: a column whose dictionary already contains every appended
+// value shares its dictionary slices with the result and only copies codes,
+// while a column that sees fresh values gets a merged sorted dictionary with
+// every existing code remapped to its new position.
+//
+// Copy-on-write is what makes online ingest safe under serving: a model
+// answering requests against the old table (whose code space the new
+// dictionary may have shifted) stays internally consistent until table and
+// model are hot-swapped together (Registry.SwapModel) — the lifecycle
+// subsystem's retrain path.
+func AppendRows(t *Table, rows [][]string) (*Table, error) {
+	if len(rows) == 0 {
+		return t, nil
+	}
+	for ri, row := range rows {
+		if len(row) != t.NumCols() {
+			return nil, fmt.Errorf("relation: append row %d has %d values, table %q has %d columns",
+				ri, len(row), t.Name, t.NumCols())
+		}
+	}
+	cols := make([]*Column, t.NumCols())
+	for ci, c := range t.Cols {
+		nc, err := appendColumn(c, rows, ci)
+		if err != nil {
+			return nil, err
+		}
+		cols[ci] = nc
+	}
+	return NewTable(t.Name, cols), nil
+}
+
+// appendColumn parses column ci of every row by c's kind and returns a new
+// column holding old rows + appended rows.
+func appendColumn(c *Column, rows [][]string, ci int) (*Column, error) {
+	n := len(rows)
+	switch c.Kind {
+	case KindInt:
+		vals := make([]int64, n)
+		for i, row := range rows {
+			v, err := strconv.ParseInt(row[ci], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: append: column %q is int, got %q", c.Name, row[ci])
+			}
+			vals[i] = v
+		}
+		dict, codes := extendDict(c.Ints, c.Codes, vals)
+		return &Column{Name: c.Name, Kind: KindInt, Ints: dict, Codes: codes}, nil
+	case KindFloat:
+		vals := make([]float64, n)
+		for i, row := range rows {
+			v, err := strconv.ParseFloat(row[ci], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: append: column %q is float, got %q", c.Name, row[ci])
+			}
+			vals[i] = v
+		}
+		dict, codes := extendDict(c.Floats, c.Codes, vals)
+		return &Column{Name: c.Name, Kind: KindFloat, Floats: dict, Codes: codes}, nil
+	default:
+		vals := make([]string, n)
+		for i, row := range rows {
+			vals[i] = row[ci]
+		}
+		dict, codes := extendDict(c.Strs, c.Codes, vals)
+		return &Column{Name: c.Name, Kind: KindString, Strs: dict, Codes: codes}, nil
+	}
+}
+
+// extendDict merges appended values into a sorted dictionary and produces the
+// full code column (old rows remapped + appended rows encoded). When no value
+// is fresh the input dictionary is returned as-is, so the caller can share it.
+func extendDict[V cmp.Ordered](dict []V, oldCodes []int32, vals []V) ([]V, []int32) {
+	var fresh []V
+	for _, v := range vals {
+		if _, ok := slices.BinarySearch(dict, v); !ok {
+			fresh = append(fresh, v)
+		}
+	}
+	codes := make([]int32, len(oldCodes)+len(vals))
+	if len(fresh) == 0 {
+		copy(codes, oldCodes)
+		for i, v := range vals {
+			j, _ := slices.BinarySearch(dict, v)
+			codes[len(oldCodes)+i] = int32(j)
+		}
+		return dict, codes
+	}
+	slices.Sort(fresh)
+	fresh = slices.Compact(fresh)
+	merged := make([]V, 0, len(dict)+len(fresh))
+	remap := make([]int32, len(dict))
+	i, j := 0, 0
+	for i < len(dict) || j < len(fresh) {
+		// Fresh values are absent from dict, so the two runs never tie.
+		if j >= len(fresh) || (i < len(dict) && dict[i] < fresh[j]) {
+			remap[i] = int32(len(merged))
+			merged = append(merged, dict[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	for k, oc := range oldCodes {
+		codes[k] = remap[oc]
+	}
+	for k, v := range vals {
+		j, _ := slices.BinarySearch(merged, v)
+		codes[len(oldCodes)+k] = int32(j)
+	}
+	return merged, codes
+}
+
+// CodeHist returns column ci's normalized code-frequency histogram — the
+// per-column distribution snapshot that drift detection compares appended
+// rows against (total-variation distance between a trained snapshot's
+// histogram and the appended rows projected onto the same dictionary).
+func (t *Table) CodeHist(ci int) []float64 {
+	c := t.Cols[ci]
+	h := make([]float64, c.NumDistinct())
+	inv := 1 / float64(len(c.Codes))
+	for _, code := range c.Codes {
+		h[code] += inv
+	}
+	return h
+}
+
+// ProjectValue maps a raw value onto the column's dictionary with lower-bound
+// semantics, clamped to the last code, and reports whether the value is
+// present exactly. Values outside the trained domain land in the nearest bin,
+// which is exactly what projecting appended rows onto a trained snapshot's
+// histogram needs; exact=false marks a value that would grow the dictionary.
+func (c *Column) ProjectValue(raw string) (code int32, exact bool, err error) {
+	var lb int32
+	switch c.Kind {
+	case KindInt:
+		v, perr := strconv.ParseInt(raw, 10, 64)
+		if perr != nil {
+			return 0, false, fmt.Errorf("relation: column %q is int, got %q", c.Name, raw)
+		}
+		lb = c.LowerBoundInt(v)
+		exact = int(lb) < len(c.Ints) && c.Ints[lb] == v
+	case KindFloat:
+		v, perr := strconv.ParseFloat(raw, 64)
+		if perr != nil {
+			return 0, false, fmt.Errorf("relation: column %q is float, got %q", c.Name, raw)
+		}
+		lb = c.LowerBoundFloat(v)
+		exact = int(lb) < len(c.Floats) && c.Floats[lb] == v
+	default:
+		lb = c.LowerBoundString(raw)
+		exact = int(lb) < len(c.Strs) && c.Strs[lb] == raw
+	}
+	if int(lb) >= c.NumDistinct() {
+		lb = int32(c.NumDistinct()) - 1
+	}
+	return lb, exact, nil
+}

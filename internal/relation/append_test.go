@@ -1,0 +1,139 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func appendTestTable() *Table {
+	return NewTable("t", []*Column{
+		NewIntColumn("a", []int64{10, 20, 20, 40}),
+		NewFloatColumn("f", []float64{1.5, 2.5, 2.5, 4}),
+		NewStringColumn("s", []string{"x", "y", "y", "z"}),
+	})
+}
+
+// rowValues renders row r as raw strings, the lossless comparison basis when
+// dictionaries (and therefore codes) differ between tables.
+func rowValues(t *Table, r int) []string {
+	out := make([]string, t.NumCols())
+	for i, c := range t.Cols {
+		out[i] = c.ValueString(c.Codes[r])
+	}
+	return out
+}
+
+func TestAppendRowsNoFreshValues(t *testing.T) {
+	base := appendTestTable()
+	grown, err := AppendRows(base, [][]string{{"20", "1.5", "z"}, {"40", "4", "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumRows() != 6 || base.NumRows() != 4 {
+		t.Fatalf("rows: grown %d (want 6), base %d (want 4)", grown.NumRows(), base.NumRows())
+	}
+	for i := range base.Cols {
+		if base.Cols[i].NumDistinct() != grown.Cols[i].NumDistinct() {
+			t.Fatalf("column %d NDV changed without fresh values", i)
+		}
+		// Unchanged dictionaries are shared, not copied.
+		switch base.Cols[i].Kind {
+		case KindInt:
+			if &base.Cols[i].Ints[0] != &grown.Cols[i].Ints[0] {
+				t.Fatalf("column %d dictionary was copied needlessly", i)
+			}
+		}
+	}
+	want := [][]string{{"10", "1.5", "x"}, {"20", "2.5", "y"}, {"20", "2.5", "y"}, {"40", "4", "z"},
+		{"20", "1.5", "z"}, {"40", "4", "x"}}
+	for r := range want {
+		if got := rowValues(grown, r); fmt.Sprint(got) != fmt.Sprint(want[r]) {
+			t.Fatalf("row %d = %v, want %v", r, got, want[r])
+		}
+	}
+}
+
+func TestAppendRowsGrowsDictionaries(t *testing.T) {
+	base := appendTestTable()
+	baseRows := make([][]string, base.NumRows())
+	for r := range baseRows {
+		baseRows[r] = rowValues(base, r)
+	}
+	// 15 lands mid-dictionary for "a" (shifting codes of 20 and 40), 0.5 at
+	// the front for "f", "zz" at the back for "s".
+	grown, err := AppendRows(base, [][]string{{"15", "0.5", "zz"}, {"15", "2.5", "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Cols[0].NumDistinct(); got != 4 {
+		t.Fatalf("a NDV = %d, want 4", got)
+	}
+	if got := grown.Cols[1].NumDistinct(); got != 4 {
+		t.Fatalf("f NDV = %d, want 4", got)
+	}
+	if got := grown.Cols[2].NumDistinct(); got != 4 {
+		t.Fatalf("s NDV = %d, want 4", got)
+	}
+	// Every pre-existing row keeps its values under the remapped codes, and
+	// the input table is untouched.
+	for r, want := range baseRows {
+		if got := rowValues(grown, r); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("remapped row %d = %v, want %v", r, got, want)
+		}
+		if got := rowValues(base, r); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("input table mutated: row %d = %v, want %v", r, got, want)
+		}
+	}
+	if got := rowValues(grown, 4); fmt.Sprint(got) != fmt.Sprint([]string{"15", "0.5", "zz"}) {
+		t.Fatalf("appended row = %v", got)
+	}
+	// Dictionaries stay sorted (the repo-wide invariant codes rely on).
+	for i := 1; i < len(grown.Cols[0].Ints); i++ {
+		if grown.Cols[0].Ints[i-1] >= grown.Cols[0].Ints[i] {
+			t.Fatalf("a dictionary not strictly sorted: %v", grown.Cols[0].Ints)
+		}
+	}
+}
+
+func TestAppendRowsErrors(t *testing.T) {
+	base := appendTestTable()
+	if _, err := AppendRows(base, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := AppendRows(base, [][]string{{"notanint", "2.5", "x"}}); err == nil {
+		t.Fatal("unparseable int accepted")
+	}
+	if _, err := AppendRows(base, [][]string{{"1", "notafloat", "x"}}); err == nil {
+		t.Fatal("unparseable float accepted")
+	}
+	if got, err := AppendRows(base, nil); err != nil || got != base {
+		t.Fatalf("empty append: got %v, %v", got, err)
+	}
+}
+
+func TestCodeHistAndProjectValue(t *testing.T) {
+	base := appendTestTable()
+	h := base.CodeHist(0) // values 10,20,20,40 -> codes 0,1,1,2
+	want := []float64{0.25, 0.5, 0.25}
+	if len(h) != len(want) {
+		t.Fatalf("hist len %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if diff := h[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("hist[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+	c := base.Cols[0]
+	if code, exact, err := c.ProjectValue("20"); err != nil || !exact || code != 1 {
+		t.Fatalf("ProjectValue(20) = %d,%v,%v", code, exact, err)
+	}
+	if code, exact, err := c.ProjectValue("25"); err != nil || exact || code != 2 {
+		t.Fatalf("ProjectValue(25) = %d,%v,%v (want lower-bound 2, inexact)", code, exact, err)
+	}
+	if code, exact, err := c.ProjectValue("99"); err != nil || exact || code != 2 {
+		t.Fatalf("ProjectValue(99) = %d,%v,%v (want clamp to last code)", code, exact, err)
+	}
+	if _, _, err := c.ProjectValue("nope"); err == nil {
+		t.Fatal("unparseable value accepted")
+	}
+}

@@ -28,10 +28,11 @@ type JoinSamplerConfig struct {
 // MultiJoinCardinality's, with outer-join semantics — a missing child
 // contributes one NULL branch instead of annihilating the row). A draw then
 // picks an anchor — a root row, or a dangling row that the outer join
-// preserves below its missing parent — proportionally to its weight and
-// descends each edge choosing one match proportionally to the match's own
-// subtree weight, which makes every full-outer-join row exactly equally
-// likely.
+// preserves below its missing parent — proportionally to its weight (a
+// Walker alias table over the anchor weights makes this O(1) regardless of
+// base-table size) and descends each edge choosing one match proportionally
+// to the match's own subtree weight, which makes every full-outer-join row
+// exactly equally likely.
 //
 // Sampled tuples use the exact column layout MultiJoin materializes —
 // "<table>_<col>" value columns over the unchanged source dictionaries (plus
@@ -59,7 +60,7 @@ type JoinSampler struct {
 
 	anchorTable []int32
 	anchorRow   []int32
-	anchorCum   []float64
+	anchorPick  aliasTable
 	total       float64
 
 	canBeAbsent []bool
@@ -354,14 +355,14 @@ func fanDictCode(dict []int64, v int64) int32 {
 }
 
 // buildAnchors lays out the weighted anchor choice: every root row, then
-// every dangling row, with cumulative subtree weights.
+// every dangling row, behind a Walker alias table so an anchor draw is O(1)
+// instead of a binary search over O(base rows) cumulative weights.
 func (s *JoinSampler) buildAnchors() {
-	run := 0.0
+	var weights []float64
 	add := func(ti int, r int32) {
-		run += s.f[ti][r]
+		weights = append(weights, s.f[ti][r])
 		s.anchorTable = append(s.anchorTable, int32(ti))
 		s.anchorRow = append(s.anchorRow, r)
-		s.anchorCum = append(s.anchorCum, run)
 	}
 	for r := 0; r < s.g.Tables[0].NumRows(); r++ {
 		add(0, int32(r))
@@ -371,7 +372,13 @@ func (s *JoinSampler) buildAnchors() {
 			add(ti, r)
 		}
 	}
-	s.total = run
+	s.total = 0
+	for _, w := range weights {
+		s.total += w
+	}
+	if s.total > 0 {
+		s.anchorPick = newAliasTable(weights)
+	}
 }
 
 // NumCols returns the number of view columns a drawn tuple spans.
@@ -389,11 +396,7 @@ func (s *JoinSampler) Draw(dst []int32) []int32 {
 		dst = make([]int32, len(s.cols))
 	}
 	copy(dst, s.template)
-	x := s.rng.Float64() * s.total
-	i := sort.Search(len(s.anchorCum), func(k int) bool { return s.anchorCum[k] > x })
-	if i >= len(s.anchorCum) {
-		i = len(s.anchorCum) - 1
-	}
+	i := int(s.anchorPick.draw(s.rng))
 	ti := int(s.anchorTable[i])
 	dst[s.fanIdx[ti]] = s.fanOne[ti]
 	s.descend(ti, int(s.anchorRow[i]), dst)

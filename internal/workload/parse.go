@@ -247,6 +247,21 @@ func ResolvePredicate(t *relation.Table, column string, op Op, lit string) (Pred
 	return predicateFromBound(ci, col, op, lb, exact), nil
 }
 
+// DegeneratePredicate is the in-domain predicate equivalent to comparing a
+// column against a value beyond its dictionary (typical once served data has
+// drifted past the trained domain): =, > and >= select nothing (empty
+// interval), < and <= select everything. Value encoders (one-hot) index by
+// code, so out-of-domain comparisons must clamp here rather than carry
+// code == NDV.
+func DegeneratePredicate(col int, op Op, ndv int) Predicate {
+	switch op {
+	case OpEq, OpGt, OpGe:
+		return Predicate{Col: col, Op: OpGt, Code: int32(ndv) - 1}
+	default: // OpLt, OpLe
+		return Predicate{Col: col, Op: OpGe, Code: 0}
+	}
+}
+
 // lowerBound resolves the raw literal to (first code >= value, exact match).
 func lowerBound(col *relation.Column, lit string) (int32, bool, error) {
 	if strings.HasPrefix(lit, "'") {
@@ -298,6 +313,9 @@ func boolToInt(b bool) int64 {
 // over codes with identical row semantics to the raw-value comparison.
 func predicateFromBound(ci int, col *relation.Column, op Op, lb int32, exact bool) Predicate {
 	ndv := int32(col.NumDistinct())
+	if lb >= ndv {
+		return DegeneratePredicate(ci, op, int(ndv))
+	}
 	switch op {
 	case OpEq:
 		if !exact {

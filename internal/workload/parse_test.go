@@ -330,3 +330,40 @@ func TestParseRoundtripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseBeyondDictionaryClamps: literals past every dictionary value must
+// resolve to in-domain codes (value encoders index by code, so code == NDV
+// would crash them) with the degenerate always-true/always-false semantics.
+// This is the path drifted feedback queries hit: the workload references
+// values the trained snapshot has never seen.
+func TestParseBeyondDictionaryClamps(t *testing.T) {
+	tbl := parseTable()
+	ndv := int32(tbl.Cols[0].NumDistinct())
+	cases := []struct {
+		expr  string
+		empty bool // whether the interval must be empty
+	}{
+		{"age>=100", true},
+		{"age>100", true},
+		{"age=100", true},
+		{"age<100", false},
+		{"age<=100", false},
+	}
+	for _, tc := range cases {
+		q, err := ParseQuery(tbl, tc.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		p := q.Preds[0]
+		if p.Code < 0 || p.Code >= ndv {
+			t.Fatalf("%s: out-of-domain code %d (NDV %d)", tc.expr, p.Code, ndv)
+		}
+		lo, hi := p.Interval(int(ndv))
+		if got := lo > hi; got != tc.empty {
+			t.Fatalf("%s: interval [%d,%d] empty=%v, want %v", tc.expr, lo, hi, got, tc.empty)
+		}
+		if !tc.empty && (lo != 0 || hi != ndv-1) {
+			t.Fatalf("%s: want the full domain, got [%d,%d]", tc.expr, lo, hi)
+		}
+	}
+}
