@@ -1,0 +1,14 @@
+# Build duetserve from source; the runtime image is a small alpine layer so
+# compose healthchecks have wget available.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/duetserve ./cmd/duetserve
+
+FROM alpine:3.20
+COPY --from=build /out/duetserve /usr/local/bin/duetserve
+RUN mkdir -p /var/lib/duet
+EXPOSE 8080
+ENTRYPOINT ["duetserve"]
+CMD ["-manifest", "/etc/duet/deploy.json", "-modeldir", "/var/lib/duet"]

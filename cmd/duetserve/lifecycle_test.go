@@ -12,9 +12,9 @@ import (
 
 // lifecycleServer wraps testServer's registry with a supervisor managing the
 // orders model, mirroring what a manifest lifecycle block assembles.
-func lifecycleServer(t *testing.T) (*server, *duet.Lifecycle) {
+func lifecycleServer(t *testing.T) (*duet.Registry, *duet.Lifecycle) {
 	t.Helper()
-	srv, reg, _ := testServer(t)
+	reg, _ := testServer(t)
 	lc := duet.NewLifecycle(reg, duet.LifecyclePolicy{
 		MaxMedianQErr: 1e9, // signals recorded, never tripped: endpoint tests stay deterministic
 		CheckInterval: time.Hour,
@@ -26,13 +26,12 @@ func lifecycleServer(t *testing.T) (*server, *duet.Lifecycle) {
 	if err := lc.Manage("orders", duet.LifecycleManageOpts{Config: cfg}); err != nil {
 		t.Fatal(err)
 	}
-	srv.lc = lc
-	return srv, lc
+	return reg, lc
 }
 
 func TestLifecycleEndpoints(t *testing.T) {
-	srv, _ := lifecycleServer(t)
-	mux := srv.newMux()
+	reg, lc := lifecycleServer(t)
+	mux := duet.NewAPIServer(reg, lc, "").Handler()
 
 	// Ingest: numbers and strings both parse; the drift signal reports back.
 	rec, out := doJSON(t, mux, "POST", "/ingest", map[string]any{
@@ -97,8 +96,8 @@ func TestLifecycleEndpoints(t *testing.T) {
 }
 
 func TestLifecycleEndpointsDisabled(t *testing.T) {
-	srv, _, _ := testServer(t)
-	mux := srv.newMux()
+	reg, _ := testServer(t)
+	mux := testHandler(reg)
 	for _, req := range []struct{ method, path string }{
 		{"POST", "/ingest"}, {"POST", "/feedback"}, {"GET", "/lifecycle"},
 	} {

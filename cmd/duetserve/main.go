@@ -15,15 +15,32 @@
 //	duetserve -manifest deploy.json -modeldir models -watch 2s
 //	duetserve -manifest deploy.json -modeldir models -build-join   # train+save join models, exit
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the bare legacy paths still answer, as
+// deprecated aliases):
 //
-//	POST /estimate              {"model": "orders", "query": "amount<=100"}     -> {"card": ...}
-//	POST /estimate              {"query": "o.k = c.k AND o.amount<=100"}        -> routed to the join view
-//	POST /estimate              {"queries": ["a<=1", "b>2 AND c=3"]}            -> {"cards": [...]}
-//	GET  /models                                                               -> registered models + stats
-//	POST /models/{name}/reload                                                 -> admin hot reload
-//	GET  /healthz                                                              -> service health
-//	GET  /stats                                                                -> router + engine counters
+//	POST /v1/estimate              {"model": "orders", "query": "amount<=100"}  -> {"card": ...}
+//	POST /v1/estimate              {"query": "o.k = c.k AND o.amount<=100"}     -> routed to the join view
+//	POST /v1/estimate              {"queries": ["a<=1", "b>2 AND c=3"]}         -> {"cards": [...]}
+//	GET  /v1/models                                                            -> registered models + stats
+//	POST /v1/models/{name}/reload                                              -> admin hot reload
+//	GET  /v1/models/{name}/versions                                            -> retained artifact versions
+//	GET  /v1/models/{name}/versions/{v}                                        -> artifact bytes
+//	POST /v1/models/{name}/pull    {"source": "http://peer:8080", "version": 4} -> pull + drain-swap install
+//	GET  /v1/healthz                                                           -> service health
+//	GET  /v1/stats                                                             -> router + engine counters
+//
+// Errors use one envelope: {"error": {"code", "message", "details"}};
+// admission-shed requests answer 429 with a Retry-After header (set per-model
+// "qps"/"burst"/"max_queue" under "serve" in the manifest).
+//
+// Cluster mode: -proxy turns the process into a thin stateless router over a
+// replica fleet. Models place onto replicas by consistent hashing (R replicas
+// each); the proxy health-checks members, fails estimates over between
+// replicas, and drives rolling version installs:
+//
+//	duetserve -proxy -members http://r1:8080,http://r2:8080,http://r3:8080
+//	duetserve -proxy -manifest deploy.json        # reads the manifest's "cluster" block
+//	POST /v1/models/{name}/rollout {"version": 4} # rolling install across owners
 //
 // With a "lifecycle" block in the manifest, the service maintains itself: it
 // ingests new rows, tracks drift (per-column distribution shift of ingested
@@ -76,7 +93,18 @@ func main() {
 	maxBatch := flag.Int("batch", 64, "micro-batch size")
 	flush := flag.Duration("flush", 100*time.Microsecond, "coalescing flush window")
 	cache := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
+	// Cluster flags.
+	proxyMode := flag.Bool("proxy", false, "run as a cluster proxy over -members (or the manifest's cluster block) instead of serving models")
+	members := flag.String("members", "", "comma-separated replica base URLs (proxy mode)")
+	replication := flag.Int("replication", 0, "replicas per model in proxy mode (default 2, or the manifest's cluster.replication)")
 	flag.Parse()
+
+	if *proxyMode {
+		if err := runProxy(*addr, *members, *manifestPath, *replication); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	baseServe := duet.ServeConfig{MaxBatch: *maxBatch, FlushWindow: *flush, CacheSize: *cache}
 	reg := duet.NewRegistry(duet.RegistryConfig{
@@ -126,10 +154,10 @@ func main() {
 		fatal(fmt.Errorf("pass -manifest FILE, -csv FILE, or -syn dmv|kdd|census"))
 	}
 
-	srv := &server{reg: reg, lc: lc, start: time.Now()}
+	srv := duet.NewAPIServer(reg, lc, *modelDir)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.newMux(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -27,6 +27,49 @@ type Manifest struct {
 	// requests. Versioned model files ("<name>.v<N>.duet" + current pointer)
 	// land in the model directory.
 	Lifecycle *LifecycleSpec `json:"lifecycle,omitempty"`
+	// Cluster, when present, describes the replica fleet this manifest is
+	// deployed across. Replicas ignore it; a proxy (-proxy) reads it for the
+	// member list, replication factor, and health-check cadence, so one
+	// manifest file can configure the whole fleet.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+}
+
+// ClusterSpec is the manifest's fleet block, read by -proxy.
+type ClusterSpec struct {
+	// Members are the replicas' base URLs ("http://host:port").
+	Members []string `json:"members"`
+	// Replication is how many replicas serve each model (default 2, clamped
+	// to the member count).
+	Replication int `json:"replication,omitempty"`
+	// VNodes per member on the placement ring (default 64).
+	VNodes int `json:"vnodes,omitempty"`
+	// Health tunes member probing.
+	Health *HealthSpec `json:"health,omitempty"`
+}
+
+// HealthSpec is the proxy's probe configuration in manifest form.
+type HealthSpec struct {
+	// IntervalMS between probe rounds (default 2000).
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// TimeoutMS per probe (default half the interval).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// FailAfter consecutive failures mark a member down (default 2).
+	FailAfter int `json:"fail_after,omitempty"`
+	// RiseAfter consecutive successes mark it back up (default 2).
+	RiseAfter int `json:"rise_after,omitempty"`
+}
+
+// health renders the block as a checker configuration.
+func (cs *ClusterSpec) health() duet.ClusterHealthConfig {
+	if cs.Health == nil {
+		return duet.ClusterHealthConfig{}
+	}
+	return duet.ClusterHealthConfig{
+		Interval:  time.Duration(cs.Health.IntervalMS) * time.Millisecond,
+		Timeout:   time.Duration(cs.Health.TimeoutMS) * time.Millisecond,
+		FailAfter: cs.Health.FailAfter,
+		RiseAfter: cs.Health.RiseAfter,
+	}
 }
 
 // LifecycleSpec is the manifest's lifecycle policy block. Zero fields keep
@@ -92,6 +135,26 @@ type ServeSpec struct {
 	Cache int `json:"cache,omitempty"`
 	// Queue is the pending-request channel capacity.
 	Queue int `json:"queue,omitempty"`
+	// QPS caps this model's sustained query rate; excess requests shed with
+	// HTTP 429 and a Retry-After hint. 0 disables rate limiting.
+	QPS float64 `json:"qps,omitempty"`
+	// Burst is the token-bucket depth over QPS (default max(1, qps)).
+	Burst int `json:"burst,omitempty"`
+	// MaxQueue bounds the pending-request backlog; when full, requests shed
+	// immediately instead of queueing. 0 keeps the blocking behavior.
+	MaxQueue int `json:"max_queue,omitempty"`
+}
+
+// validate rejects nonsense admission bounds up front, where the manifest
+// line is still known, instead of at first request.
+func (s *ServeSpec) validate(owner string) error {
+	if s == nil {
+		return nil
+	}
+	if s.QPS < 0 || s.Burst < 0 || s.MaxQueue < 0 {
+		return fmt.Errorf("model %q: qps, burst, and max_queue must be >= 0", owner)
+	}
+	return nil
 }
 
 // config renders the override as an engine configuration, inheriting
@@ -112,6 +175,15 @@ func (s *ServeSpec) config(base duet.ServeConfig) *duet.ServeConfig {
 	}
 	if s.Queue != 0 {
 		cfg.QueueDepth = s.Queue
+	}
+	if s.QPS != 0 {
+		cfg.Admission.QPS = s.QPS
+	}
+	if s.Burst != 0 {
+		cfg.Admission.Burst = s.Burst
+	}
+	if s.MaxQueue != 0 {
+		cfg.Admission.MaxQueue = s.MaxQueue
 	}
 	return &cfg
 }
@@ -192,8 +264,23 @@ func loadManifest(path string) (*Manifest, error) {
 	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("manifest %s: %w", path, err)
 	}
-	if len(m.Models) == 0 {
+	if len(m.Models) == 0 && m.Cluster == nil {
 		return nil, fmt.Errorf("manifest %s: no models", path)
+	}
+	if cs := m.Cluster; cs != nil {
+		if len(cs.Members) == 0 {
+			return nil, fmt.Errorf("manifest %s: cluster needs at least one member", path)
+		}
+		seen := map[string]bool{}
+		for _, mem := range cs.Members {
+			if mem == "" || seen[mem] {
+				return nil, fmt.Errorf("manifest %s: cluster members must be distinct non-empty URLs, got %q", path, mem)
+			}
+			seen[mem] = true
+		}
+		if cs.Replication < 0 || cs.VNodes < 0 {
+			return nil, fmt.Errorf("manifest %s: cluster replication and vnodes must be >= 0", path)
+		}
 	}
 	if ls := m.Lifecycle; ls != nil {
 		if ls.MaxMedianQErr < 0 || ls.MaxColumnDrift < 0 || ls.MinIntervalS < 0 {
@@ -215,12 +302,18 @@ func loadManifest(path string) (*Manifest, error) {
 			return nil, fmt.Errorf("manifest %s: duplicate model %q", path, ms.Name)
 		}
 		names[ms.Name] = true
+		if err := ms.Serve.validate(ms.Name); err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", path, err)
+		}
 	}
 	for _, js := range m.Joins {
 		if js.Name == "" || names[js.Name] {
 			return nil, fmt.Errorf("manifest %s: join view needs a fresh name, got %q", path, js.Name)
 		}
 		names[js.Name] = true
+		if err := js.Serve.validate(js.Name); err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", path, err)
+		}
 		if js.Sample < 0 {
 			return nil, fmt.Errorf("manifest %s: join %q sample budget must be >= 0, got %d", path, js.Name, js.Sample)
 		}

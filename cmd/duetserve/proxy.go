@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"duet"
+)
+
+// runProxy is the -proxy entry point: a thin stateless router over a replica
+// fleet. Membership comes from -members (comma-separated base URLs) or from
+// the manifest's "cluster" block; -replication overrides the factor either
+// way. The proxy owns no models and keeps no state beyond counters, so any
+// number of proxies can front the same fleet without coordination.
+func runProxy(addr, membersFlag, manifestPath string, replication int) error {
+	cfg := duet.ClusterConfig{
+		Replication: replication,
+		OnHealthChange: func(member string, healthy bool) {
+			if healthy {
+				log.Printf("cluster: %s back in rotation", member)
+			} else {
+				log.Printf("cluster: %s marked down", member)
+			}
+		},
+	}
+	switch {
+	case membersFlag != "":
+		for _, m := range strings.Split(membersFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.Members = append(cfg.Members, m)
+			}
+		}
+	case manifestPath != "":
+		man, err := loadManifest(manifestPath)
+		if err != nil {
+			return err
+		}
+		if man.Cluster == nil {
+			return fmt.Errorf("manifest %s has no \"cluster\" block; -proxy needs one (or -members)", manifestPath)
+		}
+		cfg.Members = man.Cluster.Members
+		cfg.VNodes = man.Cluster.VNodes
+		cfg.Health = man.Cluster.health()
+		if replication == 0 {
+			cfg.Replication = man.Cluster.Replication
+		}
+	default:
+		return fmt.Errorf("-proxy needs -members URL,URL,... or -manifest with a \"cluster\" block")
+	}
+
+	proxy, err := duet.NewClusterProxy(cfg)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           proxy.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("proxying %d replicas on %s: %s", len(cfg.Members), addr, strings.Join(cfg.Members, ", "))
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+		stop()
+		log.Println("shutdown signal received; draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Println("shutdown:", err)
+		}
+		log.Println("bye")
+	}
+	return nil
+}

@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
 
 	"duet"
 	"duet/internal/relation"
@@ -17,7 +16,7 @@ import (
 
 // testServer builds a registry with two base models and a join view, the
 // orders model file-backed so the reload endpoint has something to reload.
-func testServer(t *testing.T) (*server, *duet.Registry, string) {
+func testServer(t *testing.T) (*duet.Registry, string) {
 	t.Helper()
 	dir := t.TempDir()
 	customers := relation.Generate(relation.SynConfig{
@@ -66,7 +65,12 @@ func testServer(t *testing.T) (*server, *duet.Registry, string) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return &server{reg: reg, start: time.Now()}, reg, ordersPath
+	return reg, ordersPath
+}
+
+// testHandler mounts the /v1 API over a registry without lifecycle.
+func testHandler(reg *duet.Registry) http.Handler {
+	return duet.NewAPIServer(reg, nil, "").Handler()
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
@@ -90,8 +94,8 @@ func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httpt
 }
 
 func TestEstimateEndpointRouting(t *testing.T) {
-	srv, _, _ := testServer(t)
-	mux := srv.newMux()
+	reg, _ := testServer(t)
+	mux := testHandler(reg)
 
 	// Named model.
 	rec, out := doJSON(t, mux, "POST", "/estimate", map[string]any{"model": "orders", "query": "amount<=10"})
@@ -133,8 +137,8 @@ func TestEstimateEndpointRouting(t *testing.T) {
 }
 
 func TestModelsAndStatsEndpoints(t *testing.T) {
-	srv, _, _ := testServer(t)
-	mux := srv.newMux()
+	reg, _ := testServer(t)
+	mux := testHandler(reg)
 	rec, out := doJSON(t, mux, "GET", "/models", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/models: %d", rec.Code)
@@ -154,8 +158,8 @@ func TestModelsAndStatsEndpoints(t *testing.T) {
 }
 
 func TestReloadEndpoint(t *testing.T) {
-	srv, _, _ := testServer(t)
-	mux := srv.newMux()
+	reg, _ := testServer(t)
+	mux := testHandler(reg)
 	rec, out := doJSON(t, mux, "POST", "/models/orders/reload", nil)
 	if rec.Code != http.StatusOK || out["status"] != "reloaded" {
 		t.Fatalf("reload: %d %v", rec.Code, out)

@@ -1,0 +1,97 @@
+// Example: a sharded duetserve fleet behind the consistent-hash proxy, all
+// in one process.
+//
+// Three replicas each serve the same model set through the /v1 API; the
+// proxy places models onto replicas by consistent hashing (replication 2),
+// health-checks the members, and fails estimates over when a replica dies.
+// The same topology runs as real containers via docker-compose.yml, driven
+// by the manifest in examples/cluster/deploy.json.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"duet"
+)
+
+func main() {
+	// Three replicas over the same tables: a real fleet gets this from one
+	// shared manifest; here each replica trains its own tiny copies.
+	tbl := duet.SynCensus(5000, 1)
+	cfg := duet.DefaultConfig()
+
+	var urls []string
+	servers := map[string]*httptest.Server{}
+	for i := 0; i < 3; i++ {
+		reg := duet.NewRegistry(duet.RegistryConfig{})
+		defer reg.Close()
+		if err := reg.Add("census", tbl, duet.New(tbl, cfg), duet.AddOpts{}); err != nil {
+			log.Fatal(err)
+		}
+		srv := httptest.NewServer(duet.NewAPIServer(reg, nil, "").Handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+		servers[srv.URL] = srv
+	}
+
+	proxy, err := duet.NewClusterProxy(duet.ClusterConfig{
+		Members:     urls,
+		Replication: 2,
+		Health: duet.ClusterHealthConfig{
+			Interval:  100 * time.Millisecond,
+			FailAfter: 2,
+		},
+		OnHealthChange: func(addr string, healthy bool) {
+			fmt.Printf("health: %s healthy=%v\n", addr, healthy)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	front := httptest.NewServer(proxy.Handler())
+	defer front.Close()
+
+	owners := proxy.Owners("census")
+	fmt.Printf("placement: census -> %v\n", owners)
+
+	estimate := func() {
+		resp, err := http.Post(front.URL+"/v1/estimate", "application/json",
+			bytes.NewReader([]byte(`{"model":"census","query":"age<=40 AND hours>30"}`)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("  %s via %s -> %s", resp.Status, resp.Header.Get("X-Duet-Replica"), body)
+	}
+
+	fmt.Println("estimate through the proxy (routes to the primary owner):")
+	estimate()
+
+	// Kill the primary owner: the very next estimate fails over to the
+	// surviving replica, before the health checker even notices.
+	fmt.Printf("killing %s\n", owners[0])
+	servers[owners[0]].Close()
+	fmt.Println("estimate after the kill (immediate failover):")
+	estimate()
+
+	// Give the checker a couple of probe rounds to mark the member down,
+	// then show the fleet view.
+	time.Sleep(400 * time.Millisecond)
+	resp, err := http.Get(front.URL + "/v1/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("fleet health: %s\n", body)
+}

@@ -1,0 +1,281 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"duet/internal/lifecycle"
+	"duet/internal/registry"
+)
+
+// Server exposes a model registry — and, when enabled, the lifecycle
+// subsystem — over the versioned /v1 HTTP API. Create with New and mount
+// Handler on an http.Server. The same handler serves a standalone process
+// and each replica behind the cluster proxy.
+type Server struct {
+	reg   *registry.Registry
+	lc    *lifecycle.Supervisor // nil when lifecycle is disabled
+	dir   string                // versioned-artifact directory ("" disables version endpoints)
+	start time.Time
+
+	legacyMu   sync.Mutex
+	legacySeen map[string]bool
+}
+
+// New builds a server over reg. lc may be nil (lifecycle endpoints then
+// return 404); dir is where versioned model artifacts live — normally the
+// lifecycle directory — and "" disables the version endpoints.
+func New(reg *registry.Registry, lc *lifecycle.Supervisor, dir string) *Server {
+	return &Server{reg: reg, lc: lc, dir: dir, start: time.Now(), legacySeen: make(map[string]bool)}
+}
+
+// Handler routes the full API: /v1/* plus the deprecated unversioned
+// aliases, all behind the request-ID middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/estimate", requireJSON(s.estimate))
+	mux.HandleFunc("GET /v1/models", s.models)
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.reload)
+	mux.HandleFunc("GET /v1/models/{name}/versions", s.versions)
+	mux.HandleFunc("GET /v1/models/{name}/versions/{version}", s.artifact)
+	mux.HandleFunc("POST /v1/models/{name}/pull", requireJSON(s.pull))
+	mux.HandleFunc("POST /v1/ingest", requireJSON(s.ingest))
+	mux.HandleFunc("POST /v1/feedback", requireJSON(s.feedback))
+	mux.HandleFunc("GET /v1/lifecycle", s.lifecycle)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+
+	// Deprecated pre-/v1 aliases. Same handlers — responses are identical on
+	// the happy path — but each route logs its deprecation once so operators
+	// notice before the aliases are retired.
+	mux.HandleFunc("POST /estimate", s.legacy("/estimate", requireJSON(s.estimate)))
+	mux.HandleFunc("GET /models", s.legacy("/models", s.models))
+	mux.HandleFunc("POST /models/{name}/reload", s.legacy("/models/{name}/reload", s.reload))
+	mux.HandleFunc("POST /ingest", s.legacy("/ingest", requireJSON(s.ingest)))
+	mux.HandleFunc("POST /feedback", s.legacy("/feedback", requireJSON(s.feedback)))
+	mux.HandleFunc("GET /lifecycle", s.legacy("/lifecycle", s.lifecycle))
+	mux.HandleFunc("GET /healthz", s.legacy("/healthz", s.healthz))
+	mux.HandleFunc("GET /stats", s.legacy("/stats", s.stats))
+
+	return WithRequestID(mux)
+}
+
+// legacy wraps an unversioned alias: it marks the response deprecated and
+// logs the first use of each route.
+func (s *Server) legacy(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.legacyMu.Lock()
+		if !s.legacySeen[route] {
+			s.legacySeen[route] = true
+			log.Printf("api: deprecated route %s used; switch to /v1%s", route, route)
+		}
+		s.legacyMu.Unlock()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", route))
+		next(w, r)
+	}
+}
+
+// estimateRequest carries either one query or a batch, as WHERE-style
+// expressions. Model selects the target estimator by name; it may be left
+// empty when only one model is registered, or when the expression contains a
+// join clause that resolves to a registered join view.
+type estimateRequest struct {
+	Model   string   `json:"model,omitempty"`
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+type estimateResponse struct {
+	Model     string    `json:"model,omitempty"`
+	Models    []string  `json:"models,omitempty"`
+	Card      *float64  `json:"card,omitempty"`
+	Cards     []float64 `json:"cards,omitempty"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+}
+
+func (s *Server) estimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+		return
+	}
+	t0 := time.Now()
+	switch {
+	case req.Query != "" && req.Queries == nil:
+		res, err := s.reg.Query(r.Context(), registry.QueryRequest{Model: req.Model, Expr: req.Query})
+		if err != nil {
+			WriteError(w, r, statusFor(err), err, nil)
+			return
+		}
+		WriteJSON(w, estimateResponse{Model: res.Models[0], Card: &res.Cards[0], ElapsedNS: time.Since(t0).Nanoseconds()})
+	case len(req.Queries) > 0 && req.Query == "":
+		res, err := s.reg.Query(r.Context(), registry.QueryRequest{Model: req.Model, Exprs: req.Queries})
+		if err != nil {
+			WriteError(w, r, statusFor(err), err, nil)
+			return
+		}
+		WriteJSON(w, estimateResponse{Models: res.Models, Cards: res.Cards, ElapsedNS: time.Since(t0).Nanoseconds()})
+	default:
+		WriteError(w, r, http.StatusBadRequest,
+			fmt.Errorf(`provide exactly one of "query" or "queries"`), nil)
+	}
+}
+
+// ingestRequest appends rows to a managed model's backing table. Row values
+// may be JSON strings or numbers; they are parsed by each column's kind.
+type ingestRequest struct {
+	Model string  `json:"model"`
+	Rows  [][]any `json:"rows"`
+}
+
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	if s.lc == nil {
+		WriteError(w, r, http.StatusNotFound, errLifecycleDisabled, nil)
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+		return
+	}
+	if req.Model == "" || len(req.Rows) == 0 {
+		WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`"model" and a non-empty "rows" are required`), nil)
+		return
+	}
+	rows := make([][]string, len(req.Rows))
+	for i, row := range req.Rows {
+		rows[i] = make([]string, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case string:
+				rows[i][j] = x
+			case json.Number:
+				rows[i][j] = x.String()
+			default:
+				WriteError(w, r, http.StatusBadRequest,
+					fmt.Errorf("rows[%d][%d]: values must be strings or numbers, got %T", i, j, v), nil)
+				return
+			}
+		}
+	}
+	res, err := s.lc.Ingest(req.Model, rows)
+	if err != nil {
+		WriteError(w, r, statusFor(err), err, nil)
+		return
+	}
+	WriteJSON(w, res)
+}
+
+// feedbackRequest records observed true cardinalities: a single query+card
+// pair, a batch of items, or both.
+type feedbackRequest struct {
+	Model string         `json:"model"`
+	Query string         `json:"query,omitempty"`
+	Card  *int64         `json:"card,omitempty"`
+	Items []feedbackItem `json:"items,omitempty"`
+}
+
+type feedbackItem struct {
+	Query string `json:"query"`
+	Card  int64  `json:"card"`
+}
+
+func (s *Server) feedback(w http.ResponseWriter, r *http.Request) {
+	if s.lc == nil {
+		WriteError(w, r, http.StatusNotFound, errLifecycleDisabled, nil)
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+		return
+	}
+	items := req.Items
+	if req.Query != "" {
+		if req.Card == nil {
+			WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`"query" needs a "card"`), nil)
+			return
+		}
+		items = append(items, feedbackItem{Query: req.Query, Card: *req.Card})
+	}
+	if req.Model == "" || len(items) == 0 {
+		WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`"model" and at least one query+card are required`), nil)
+		return
+	}
+	results := make([]lifecycle.FeedbackResult, len(items))
+	for i, it := range items {
+		res, err := s.lc.Feedback(req.Model, it.Query, it.Card)
+		if err != nil {
+			// Items before i are already committed to the rolling window; the
+			// envelope details say how many, so a client retry can resume at
+			// the failed item instead of double-counting the recorded ones.
+			WriteError(w, r, statusFor(err), fmt.Errorf("items[%d]: %w", i, err),
+				map[string]any{"recorded": i})
+			return
+		}
+		results[i] = res
+	}
+	if req.Query != "" && len(req.Items) == 0 {
+		WriteJSON(w, results[0])
+		return
+	}
+	WriteJSON(w, map[string]any{"results": results})
+}
+
+// lifecycle snapshots the supervisor's drift state plus each model's serving
+// identity — version, swap and reload counts — taken under the registry's
+// generation pin so the pair is coherent.
+func (s *Server) lifecycle(w http.ResponseWriter, r *http.Request) {
+	if s.lc == nil {
+		WriteError(w, r, http.StatusNotFound, errLifecycleDisabled, nil)
+		return
+	}
+	st := s.reg.Stats()
+	out := lifecycleStats{Models: s.lc.Stats(), Serving: make(map[string]servingIdentity, len(st.PerModel))}
+	for name, ms := range st.PerModel {
+		out.Serving[name] = servingIdentity{Version: ms.Version, Swaps: ms.Swaps, Reloads: ms.Reloads}
+	}
+	WriteJSON(w, out)
+}
+
+func (s *Server) models(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, map[string]any{"models": s.reg.Info()})
+}
+
+func (s *Server) reload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Reload(name); err != nil {
+		WriteError(w, r, statusFor(err), err, nil)
+		return
+	}
+	log.Printf("%s: reloaded on admin request", name)
+	WriteJSON(w, map[string]string{"status": "reloaded", "model": name})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, map[string]any{
+		"status":   "ok",
+		"models":   s.reg.Names(),
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// statsResponse is the /v1/stats payload: the registry counters (per-model
+// engine stats now carry version, swap/reload counts, and admission shed
+// totals) plus process uptime.
+type statsResponse struct {
+	registry.Stats
+	UptimeS int64 `json:"uptime_s"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	WriteJSON(w, statsResponse{Stats: s.reg.Stats(), UptimeS: int64(time.Since(s.start).Seconds())})
+}

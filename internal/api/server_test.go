@@ -1,0 +1,311 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duet/internal/core"
+	"duet/internal/registry"
+	"duet/internal/relation"
+	"duet/internal/serve"
+)
+
+// testTable builds a small deterministic table.
+func testTable(name string, seed int64) *relation.Table {
+	return relation.Generate(relation.SynConfig{
+		Name: name, Rows: 300, Seed: seed,
+		Cols: []relation.ColSpec{
+			{Name: "k", NDV: 30, Skew: 1.2, Parent: -1},
+			{Name: "a", NDV: 12, Skew: 1.5, Parent: 0, Noise: 0.2},
+		},
+	})
+}
+
+func smallModel(t *relation.Table, seed int64) *core.Model {
+	cfg := core.DefaultConfig()
+	cfg.Hidden = []int{16, 16}
+	cfg.EmbedDim = 8
+	cfg.Seed = seed
+	return core.NewModel(t, cfg)
+}
+
+// newTestServer registers one "alpha" model (optionally with a serve
+// override) and returns the API handler plus its registry.
+func newTestServer(t *testing.T, serveCfg *serve.Config, dir string) (http.Handler, *registry.Registry) {
+	t.Helper()
+	tbl := testTable("alpha", 1)
+	reg := registry.New(registry.Config{Dir: t.TempDir()})
+	t.Cleanup(func() { reg.Close() })
+	if err := reg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{Serve: serveCfg}); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, nil, dir).Handler(), reg
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeEnvelope parses {"error": {...}} responses.
+func decodeEnvelope(t *testing.T, rec *httptest.ResponseRecorder) Error {
+	t.Helper()
+	var body struct {
+		Error     Error  `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad envelope %q: %v", rec.Body.String(), err)
+	}
+	if body.RequestID == "" {
+		t.Fatalf("error envelope missing request_id: %s", rec.Body.String())
+	}
+	return body.Error
+}
+
+// TestErrorEnvelope is the table-driven contract of the /v1 error surface:
+// status code, stable machine code, and the structured envelope shape.
+func TestErrorEnvelope(t *testing.T) {
+	h, _ := newTestServer(t, nil, "")
+	for _, tc := range []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"unknown model", "POST", "/v1/estimate", `{"model":"nope","query":"a<=1"}`, http.StatusNotFound, CodeNotFound},
+		{"malformed json", "POST", "/v1/estimate", `{"model":`, http.StatusBadRequest, CodeBadRequest},
+		{"no query", "POST", "/v1/estimate", `{"model":"alpha"}`, http.StatusBadRequest, CodeBadRequest},
+		{"bad expression", "POST", "/v1/estimate", `{"model":"alpha","query":"zzz<=1"}`, http.StatusBadRequest, CodeBadRequest},
+		{"lifecycle disabled", "POST", "/v1/ingest", `{"model":"alpha","rows":[[1,2]]}`, http.StatusNotFound, CodeNotFound},
+		{"reload unknown", "POST", "/v1/models/nope/reload", ``, http.StatusNotFound, CodeNotFound},
+		{"versions without dir", "GET", "/v1/models/alpha/versions", ``, http.StatusNotFound, CodeNotFound},
+	} {
+		rec := do(t, h, tc.method, tc.path, tc.body, nil)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d (%s), want %d", tc.name, rec.Code, rec.Body.String(), tc.status)
+		}
+		if env := decodeEnvelope(t, rec); env.Code != tc.code || env.Message == "" {
+			t.Fatalf("%s: envelope %+v, want code %q", tc.name, env, tc.code)
+		}
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	h, _ := newTestServer(t, nil, "")
+	// Server-assigned when absent.
+	rec := do(t, h, "GET", "/v1/healthz", "", nil)
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Fatal("no request ID assigned")
+	}
+	// Client-supplied IDs echo back.
+	rec = do(t, h, "GET", "/v1/healthz", "", map[string]string{RequestIDHeader: "trace-42"})
+	if got := rec.Header().Get(RequestIDHeader); got != "trace-42" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
+}
+
+func TestContentTypeValidation(t *testing.T) {
+	h, _ := newTestServer(t, nil, "")
+	body := `{"model":"alpha","query":"a<=1"}`
+	// Wrong declared type is rejected with the envelope.
+	rec := do(t, h, "POST", "/v1/estimate", body, map[string]string{"Content-Type": "text/plain"})
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain accepted: %d", rec.Code)
+	}
+	if env := decodeEnvelope(t, rec); env.Code != CodeUnsupported {
+		t.Fatalf("envelope: %+v", env)
+	}
+	// Declared JSON (with charset) and absent Content-Type both pass.
+	for _, ct := range []string{"", "application/json", "application/json; charset=utf-8"} {
+		hdr := map[string]string{}
+		if ct != "" {
+			hdr["Content-Type"] = ct
+		}
+		if rec := do(t, h, "POST", "/v1/estimate", body, hdr); rec.Code != http.StatusOK {
+			t.Fatalf("content type %q rejected: %d %s", ct, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestLegacyAliasEquivalence: every legacy route must answer exactly like
+// its /v1 twin on the happy path (the result cache makes repeated estimates
+// deterministic), plus carry the deprecation headers.
+func TestLegacyAliasEquivalence(t *testing.T) {
+	h, _ := newTestServer(t, nil, "")
+	for _, tc := range []struct {
+		method, legacy, v1, body string
+	}{
+		{"POST", "/estimate", "/v1/estimate", `{"model":"alpha","query":"a<=1"}`},
+		{"POST", "/estimate", "/v1/estimate", `{"queries":["a<=1","k>2"]}`},
+		{"GET", "/models", "/v1/models", ""},
+		{"GET", "/healthz", "/v1/healthz", ""},
+	} {
+		v1 := do(t, h, tc.method, tc.v1, tc.body, nil)
+		legacy := do(t, h, tc.method, tc.legacy, tc.body, nil)
+		if v1.Code != http.StatusOK || legacy.Code != v1.Code {
+			t.Fatalf("%s %s: legacy %d vs v1 %d", tc.method, tc.legacy, legacy.Code, v1.Code)
+		}
+		// Compare everything but elapsed/uptime timers.
+		var a, b map[string]any
+		if err := json.Unmarshal(v1.Body.Bytes(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(legacy.Body.Bytes(), &b); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []map[string]any{a, b} {
+			delete(m, "elapsed_ns")
+			delete(m, "uptime_s")
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("%s %s diverged from %s:\n%s\n%s", tc.method, tc.legacy, tc.v1, bj, aj)
+		}
+		if legacy.Header().Get("Deprecation") != "true" || legacy.Header().Get("Link") == "" {
+			t.Fatalf("%s: missing deprecation headers", tc.legacy)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Fatalf("%s: /v1 route marked deprecated", tc.v1)
+		}
+	}
+}
+
+// TestAdmissionShedsOverHTTP: a rate-limited model answers 429 with the
+// overloaded envelope, a Retry-After header, and shed counters in stats.
+func TestAdmissionShedsOverHTTP(t *testing.T) {
+	h, _ := newTestServer(t, &serve.Config{
+		CacheSize: -1,
+		Admission: serve.AdmissionConfig{QPS: 0.5, Burst: 2},
+	}, "")
+
+	shed := 0
+	for i := 0; i < 6; i++ {
+		body := `{"model":"alpha","query":"a<=` + string(rune('1'+i)) + `"}`
+		rec := do(t, h, "POST", "/v1/estimate", body, nil)
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatalf("429 without Retry-After: %s", rec.Body.String())
+			}
+			env := decodeEnvelope(t, rec)
+			if env.Code != CodeOverloaded {
+				t.Fatalf("shed envelope: %+v", env)
+			}
+			if env.Details["reason"] != "rate" || env.Details["retry_after_ms"] == nil {
+				t.Fatalf("shed details: %+v", env.Details)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if shed == 0 {
+		t.Fatal("burst of 2 never shed over 6 requests")
+	}
+
+	// The shed total surfaces in /v1/stats under the model's admission stats.
+	rec := do(t, h, "GET", "/v1/stats", "", nil)
+	var stats struct {
+		PerModel map[string]struct {
+			Shed      uint64  `json:"shed"`
+			RateLimit float64 `json:"rate_limit"`
+		} `json:"per_model"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.PerModel["alpha"]; got.Shed != uint64(shed) || got.RateLimit != 0.5 {
+		t.Fatalf("stats shed %+v, want shed=%d rate=0.5", got, shed)
+	}
+}
+
+// TestVersionEndpointsAndPull exercises the rolling install's node-level
+// machinery: a source node serves a versioned artifact, a peer pulls it,
+// drain-swaps it in, and reports the installed version.
+func TestVersionEndpointsAndPull(t *testing.T) {
+	tbl := testTable("alpha", 1)
+
+	// Source node: artifact dir holds alpha.v3.duet with distinct weights.
+	srcDir := t.TempDir()
+	next := smallModel(tbl, 99)
+	f, err := os.Create(filepath.Join(srcDir, "alpha.v3.duet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srcReg := registry.New(registry.Config{Dir: srcDir})
+	defer srcReg.Close()
+	if err := srcReg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	source := httptest.NewServer(New(srcReg, nil, srcDir).Handler())
+	defer source.Close()
+
+	// The version listing sees the artifact.
+	resp, err := http.Get(source.URL + "/v1/models/alpha/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Serving  int `json:"serving"`
+		Versions []struct {
+			Version int `json:"version"`
+		} `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Versions) != 1 || listing.Versions[0].Version != 3 || listing.Serving != 0 {
+		t.Fatalf("version listing: %+v", listing)
+	}
+
+	// Peer node with the same table encoding pulls and installs v3.
+	peerDir := t.TempDir()
+	peerReg := registry.New(registry.Config{Dir: peerDir})
+	defer peerReg.Close()
+	if err := peerReg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	peer := New(peerReg, nil, peerDir).Handler()
+	rec := do(t, peer, "POST", "/v1/models/alpha/pull",
+		`{"source":"`+source.URL+`","version":3}`, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pull: %d %s", rec.Code, rec.Body.String())
+	}
+	if st := peerReg.Stats().PerModel["alpha"]; st.Version != 3 || st.Swaps != 1 {
+		t.Fatalf("peer after pull: %+v", st)
+	}
+	// The artifact landed locally, so this peer can source later pulls.
+	if _, err := os.Stat(filepath.Join(peerDir, "alpha.v3.duet")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pulling a version the source lacks fails with an upstream error.
+	rec = do(t, peer, "POST", "/v1/models/alpha/pull",
+		`{"source":"`+source.URL+`","version":9}`, nil)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("missing version pull: %d %s", rec.Code, rec.Body.String())
+	}
+	if env := decodeEnvelope(t, rec); env.Code != CodeUpstream {
+		t.Fatalf("missing version envelope: %+v", env)
+	}
+}

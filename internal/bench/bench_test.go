@@ -47,7 +47,7 @@ func TestUnknownExperiment(t *testing.T) {
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "ablation-mu", "ablation-merge",
-		"ablation-enc", "ablation-stability", "joins", "retrain", "perf"}
+		"ablation-enc", "ablation-stability", "joins", "retrain", "cluster", "perf"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -61,7 +61,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 
 // TestCheapExperimentsRun smoke-tests the fast experiments at Tiny scale.
 func TestCheapExperimentsRun(t *testing.T) {
-	for _, id := range []string{"fig4", "ablation-enc", "joins", "perf"} {
+	for _, id := range []string{"fig4", "ablation-enc", "joins", "cluster", "perf"} {
 		var buf bytes.Buffer
 		if err := RunExperiment(id, &buf, Tiny); err != nil {
 			t.Fatalf("%s: %v", id, err)

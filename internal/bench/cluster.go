@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+
+	"duet/internal/api"
+	"duet/internal/cluster"
+	"duet/internal/core"
+	"duet/internal/registry"
+	"duet/internal/relation"
+	"duet/internal/serve"
+)
+
+// ClusterReport measures the serving fleet's routing tier: what one proxy hop
+// adds to an estimate's latency over hitting the replica directly
+// (proxy_overhead_ms), and the sustained estimate throughput of a 3-replica
+// fleet behind the proxy under concurrent clients (fleet_qps). Both figures
+// feed the -json perf snapshot and the trend gate. Note the fleet runs
+// in-process: fleet_qps tracks the routing stack's cost trajectory, not
+// multi-machine scaling — on a single-CPU runner the replicas and the proxy
+// share one core.
+type ClusterReport struct {
+	Replicas        int
+	Requests        int
+	Clients         int
+	DirectQPS       float64 // one client, straight to a replica
+	FleetQPS        float64 // concurrent clients through the proxy
+	DirectMeanMS    float64
+	ProxyMeanMS     float64
+	ProxyOverheadMS float64 // ProxyMeanMS - DirectMeanMS
+}
+
+// Cluster is experiment id "cluster": stand up an in-process 3-replica fleet
+// (each replica a full /v1 API server over its own registry), front it with
+// the consistent-hash proxy, and measure the proxy hop's latency overhead and
+// the fleet's concurrent estimate throughput.
+func Cluster(w io.Writer, s Scale) (*ClusterReport, error) {
+	header(w, "Cluster: proxy routing overhead and fleet throughput")
+
+	tbl := relation.Generate(relation.SynConfig{
+		Name: "alpha", Rows: 2000, Seed: 1,
+		Cols: []relation.ColSpec{
+			{Name: "k", NDV: 50, Skew: 1.2, Parent: -1},
+			{Name: "a", NDV: 16, Skew: 1.5, Parent: 0, Noise: 0.2},
+		},
+	})
+	cfg := core.DefaultConfig()
+	cfg.Hidden = []int{16, 16}
+	cfg.EmbedDim = 8
+	cfg.Seed = 7
+
+	const replicas = 3
+	urls := make([]string, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		reg := registry.New(registry.Config{})
+		defer reg.Close()
+		// The result cache stays off: every request must cost a forward pass,
+		// or the figure would measure cache hits instead of the routing tier.
+		if err := reg.Add("alpha", tbl, core.NewModel(tbl, cfg), registry.AddOpts{
+			Serve: &serve.Config{CacheSize: -1},
+		}); err != nil {
+			return nil, err
+		}
+		srv := httptest.NewServer(api.New(reg, nil, "").Handler())
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+
+	proxy, err := cluster.NewProxy(cluster.Config{Members: urls, Replication: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	front := httptest.NewServer(proxy.Handler())
+	defer front.Close()
+
+	// Workload: distinct single-predicate queries, the shape a plan
+	// enumerator emits; distinct values defeat any caching on the path.
+	reqs := 100 * s.Epochs
+	if reqs < 120 {
+		reqs = 120
+	}
+	bodies := make([][]byte, reqs)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(`{"model":"alpha","query":"a<=%d AND k>%d"}`, i%16+1, i%40))
+	}
+	post := func(url string, body []byte) error {
+		resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("estimate: %s", resp.Status)
+		}
+		return nil
+	}
+
+	rep := &ClusterReport{Replicas: replicas, Requests: reqs, Clients: 4}
+
+	// Phase 1 — direct: one client, one hop, straight at a replica.
+	stop := timer()
+	for _, b := range bodies {
+		if err := post(urls[0], b); err != nil {
+			return nil, err
+		}
+	}
+	direct := stop()
+	rep.DirectQPS = float64(reqs) / direct.Seconds()
+	rep.DirectMeanMS = float64(direct.Microseconds()) / 1e3 / float64(reqs)
+
+	// Phase 2 — proxied: same single-client workload through the proxy; the
+	// mean latency delta is the routing hop's cost.
+	stop = timer()
+	for _, b := range bodies {
+		if err := post(front.URL, b); err != nil {
+			return nil, err
+		}
+	}
+	proxied := stop()
+	rep.ProxyMeanMS = float64(proxied.Microseconds()) / 1e3 / float64(reqs)
+	rep.ProxyOverheadMS = rep.ProxyMeanMS - rep.DirectMeanMS
+
+	// Phase 3 — fleet throughput: concurrent clients through the proxy.
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	stop = timer()
+	for c := 0; c < rep.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reqs {
+					return
+				}
+				if err := post(front.URL, bodies[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fleetDur := stop()
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, err
+	}
+	rep.FleetQPS = float64(reqs) / fleetDur.Seconds()
+
+	fmt.Fprintf(w, "fleet: %d replicas, replication 2, %d requests\n", replicas, reqs)
+	fmt.Fprintf(w, "direct: %.0f q/s (%.3f ms mean); proxied: %.3f ms mean -> overhead %.3f ms/req\n",
+		rep.DirectQPS, rep.DirectMeanMS, rep.ProxyMeanMS, rep.ProxyOverheadMS)
+	fmt.Fprintf(w, "fleet throughput: %.0f q/s with %d concurrent clients (in-process fleet; routing cost, not machine scaling)\n",
+		rep.FleetQPS, rep.Clients)
+	return rep, nil
+}

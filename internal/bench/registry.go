@@ -37,6 +37,10 @@ func Experiments() []Experiment {
 			_, err := Retrain(w, s)
 			return err
 		}},
+		{"cluster", "Cluster: proxy routing overhead + fleet throughput", func(w io.Writer, s Scale) error {
+			_, err := Cluster(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

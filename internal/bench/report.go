@@ -53,6 +53,14 @@ type PerfReport struct {
 	RetrainTuplesPerS float64 `json:"retrain_tuples_per_s"`
 	SwapLatencyMS     float64 `json:"swap_latency_ms"`
 
+	// Cluster serving (the Cluster experiment): the latency a proxy hop adds
+	// to one estimate and the in-process 3-replica fleet's concurrent
+	// throughput. fleet_qps is trend-gated; proxy_overhead_ms is gated
+	// inversely with a noise floor, like the swap latency.
+	FleetQPS        float64 `json:"fleet_qps"`
+	ProxyOverheadMS float64 `json:"proxy_overhead_ms"`
+	ClusterReplicas int     `json:"cluster_replicas"`
+
 	ElapsedS float64 `json:"elapsed_s"`
 }
 
@@ -155,6 +163,14 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	}
 	rep.RetrainTuplesPerS = rt.RetrainTuplesPerS
 	rep.SwapLatencyMS = rt.SwapLatencyMS
+
+	cl, err := Cluster(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.FleetQPS = cl.FleetQPS
+	rep.ProxyOverheadMS = cl.ProxyOverheadMS
+	rep.ClusterReplicas = cl.Replicas
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

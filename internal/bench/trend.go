@@ -43,6 +43,7 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 	check("train tuples/s", r.TrainTuplesPerS, base.TrainTuplesPerS)
 	check("join build tuples/s", r.JoinBuildTuplesPerS, base.JoinBuildTuplesPerS)
 	check("retrain tuples/s", r.RetrainTuplesPerS, base.RetrainTuplesPerS)
+	check("fleet q/s", r.FleetQPS, base.FleetQPS)
 	// Latency gates are inverted — growth is the regression — and floored at
 	// 25ms: swaps are sub-millisecond, so tiny absolute values jitter with
 	// scheduler noise on shared CI runners; only a swap that got both slow in
@@ -51,6 +52,13 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 		regressions = append(regressions,
 			fmt.Sprintf("swap latency regressed: %.3f ms -> %.3f ms (baseline allows +%.0f%% above 25 ms)",
 				base.SwapLatencyMS, r.SwapLatencyMS, 100*maxDrop))
+	}
+	// Proxy overhead is a per-request latency in the single-millisecond range;
+	// the same inverted gate with a 10ms floor keeps scheduler noise out.
+	if base.ProxyOverheadMS > 0 && r.ProxyOverheadMS > 10 && r.ProxyOverheadMS > base.ProxyOverheadMS*(1+maxDrop) {
+		regressions = append(regressions,
+			fmt.Sprintf("proxy overhead regressed: %.3f ms -> %.3f ms (baseline allows +%.0f%% above 10 ms)",
+				base.ProxyOverheadMS, r.ProxyOverheadMS, 100*maxDrop))
 	}
 	return regressions
 }

@@ -56,6 +56,24 @@ func TestCompareBaseline(t *testing.T) {
 	if len(regs) != 1 || !strings.Contains(regs[0], "swap latency") {
 		t.Fatalf("swap latency regression not flagged: %v", regs)
 	}
+	// Fleet throughput is gated like the serving metrics.
+	base = &PerfReport{FleetQPS: 10000}
+	cur = &PerfReport{FleetQPS: 4000}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "fleet q/s") {
+		t.Fatalf("fleet qps regression not flagged: %v", regs)
+	}
+	// Proxy overhead gates inversely with a 10ms floor.
+	base = &PerfReport{ProxyOverheadMS: 0.05}
+	cur = &PerfReport{ProxyOverheadMS: 0.4}
+	if regs := cur.CompareBaseline(base, 0.30); len(regs) != 0 {
+		t.Fatalf("sub-floor proxy overhead jitter flagged: %v", regs)
+	}
+	cur = &PerfReport{ProxyOverheadMS: 30}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "proxy overhead") {
+		t.Fatalf("proxy overhead regression not flagged: %v", regs)
+	}
 }
 
 func TestLoadReportRoundtrip(t *testing.T) {

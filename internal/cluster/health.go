@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthConfig tunes the proxy's member probing. The zero value selects the
+// defaults noted per field.
+type HealthConfig struct {
+	// Interval between probe rounds. Default 2s.
+	Interval time.Duration
+	// Timeout per probe request. Default half the interval.
+	Timeout time.Duration
+	// FailAfter marks a member down after this many consecutive probe
+	// failures (hysteresis against one lost packet). Default 2.
+	FailAfter int
+	// RiseAfter marks a down member up again after this many consecutive
+	// probe successes (hysteresis against a flapping restart loop). Default 2.
+	RiseAfter int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval / 2
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RiseAfter <= 0 {
+		c.RiseAfter = 2
+	}
+	return c
+}
+
+// MemberHealth is one member's probe state snapshot.
+type MemberHealth struct {
+	Addr    string    `json:"addr"`
+	Healthy bool      `json:"healthy"`
+	Fails   int       `json:"consecutive_fails,omitempty"`
+	Checked time.Time `json:"last_checked,omitempty"`
+}
+
+// Checker probes each member's /v1/healthz on a fixed cadence and applies
+// mark-down / mark-up hysteresis. Members start healthy: the fleet boots in
+// an accepting state and the first failed round, not the first slow start,
+// takes a member out of rotation.
+type Checker struct {
+	cfg      HealthConfig
+	client   *http.Client
+	onChange func(addr string, healthy bool) // optional observer
+
+	mu     sync.RWMutex
+	states map[string]*memberState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type memberState struct {
+	healthy bool
+	fails   int // consecutive failures while healthy
+	rises   int // consecutive successes while down
+	checked time.Time
+}
+
+// NewChecker builds a checker over the member addresses. Call Start to begin
+// probing; onChange (optional) observes every health transition.
+func NewChecker(members []string, cfg HealthConfig, onChange func(addr string, healthy bool)) *Checker {
+	cfg = cfg.withDefaults()
+	c := &Checker{
+		cfg:      cfg,
+		client:   &http.Client{Timeout: cfg.Timeout},
+		onChange: onChange,
+		states:   make(map[string]*memberState, len(members)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, m := range members {
+		c.states[m] = &memberState{healthy: true}
+	}
+	return c
+}
+
+// Start launches the probe loop; Stop terminates it.
+func (c *Checker) Start() {
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit.
+func (c *Checker) Stop() {
+	close(c.stop)
+	<-c.done
+}
+
+// probeAll checks every member concurrently and applies the hysteresis.
+func (c *Checker) probeAll() {
+	c.mu.RLock()
+	addrs := make([]string, 0, len(c.states))
+	for a := range c.states {
+		addrs = append(addrs, a)
+	}
+	c.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c.record(addr, c.probe(addr))
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// probe reports one member's liveness: /v1/healthz answering 200.
+func (c *Checker) probe(addr string) bool {
+	resp, err := c.client.Get(addr + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// record applies one probe result with mark-down / mark-up hysteresis.
+func (c *Checker) record(addr string, ok bool) {
+	var flipped bool
+	var nowHealthy bool
+	c.mu.Lock()
+	st := c.states[addr]
+	if st == nil {
+		c.mu.Unlock()
+		return
+	}
+	st.checked = time.Now()
+	if ok {
+		st.fails = 0
+		if !st.healthy {
+			st.rises++
+			if st.rises >= c.cfg.RiseAfter {
+				st.healthy, st.rises = true, 0
+				flipped, nowHealthy = true, true
+			}
+		}
+	} else {
+		st.rises = 0
+		if st.healthy {
+			st.fails++
+			if st.fails >= c.cfg.FailAfter {
+				st.healthy, st.fails = false, 0
+				flipped, nowHealthy = true, false
+			}
+		}
+	}
+	c.mu.Unlock()
+	if flipped && c.onChange != nil {
+		c.onChange(addr, nowHealthy)
+	}
+}
+
+// Healthy reports whether a member is currently in rotation.
+func (c *Checker) Healthy(addr string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.states[addr]
+	return st != nil && st.healthy
+}
+
+// Snapshot lists every member's probe state, sorted by address.
+func (c *Checker) Snapshot() []MemberHealth {
+	c.mu.RLock()
+	out := make([]MemberHealth, 0, len(c.states))
+	for addr, st := range c.states {
+		out = append(out, MemberHealth{Addr: addr, Healthy: st.healthy, Fails: st.fails, Checked: st.checked})
+	}
+	c.mu.RUnlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Addr < out[j-1].Addr; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

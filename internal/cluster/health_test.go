@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCheckerMarkDownAndUp drives a member through healthy -> down -> back
+// up and asserts the hysteresis thresholds gate both transitions.
+func TestCheckerMarkDownAndUp(t *testing.T) {
+	var ok atomic.Bool
+	ok.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !ok.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	flips := make(chan bool, 8)
+	c := NewChecker([]string{srv.URL}, HealthConfig{
+		Interval:  20 * time.Millisecond,
+		Timeout:   200 * time.Millisecond,
+		FailAfter: 2,
+		RiseAfter: 2,
+	}, func(_ string, healthy bool) { flips <- healthy })
+	c.Start()
+	defer c.Stop()
+
+	if !c.Healthy(srv.URL) {
+		t.Fatal("members must start in rotation")
+	}
+
+	ok.Store(false)
+	select {
+	case h := <-flips:
+		if h {
+			t.Fatal("first flip should be a mark-down")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("member never marked down")
+	}
+	if c.Healthy(srv.URL) {
+		t.Fatal("member still in rotation after mark-down")
+	}
+
+	ok.Store(true)
+	select {
+	case h := <-flips:
+		if !h {
+			t.Fatal("second flip should be a mark-up")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("member never marked back up")
+	}
+	if !c.Healthy(srv.URL) {
+		t.Fatal("member not back in rotation after mark-up")
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 1 || !snap[0].Healthy || snap[0].Addr != srv.URL {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestCheckerSingleFailureIsForgiven: one lost probe must not trip the
+// FailAfter=2 hysteresis.
+func TestCheckerSingleFailureIsForgiven(t *testing.T) {
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failOnce.Swap(false) {
+			http.Error(w, "blip", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	var flipped atomic.Bool
+	c := NewChecker([]string{srv.URL}, HealthConfig{
+		Interval:  20 * time.Millisecond,
+		Timeout:   200 * time.Millisecond,
+		FailAfter: 2,
+		RiseAfter: 2,
+	}, func(string, bool) { flipped.Store(true) })
+	c.Start()
+	defer c.Stop()
+
+	time.Sleep(200 * time.Millisecond)
+	if flipped.Load() {
+		t.Fatal("a single failed probe tripped the mark-down")
+	}
+	if !c.Healthy(srv.URL) {
+		t.Fatal("member left rotation on a single blip")
+	}
+}

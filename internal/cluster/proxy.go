@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"duet/internal/api"
+)
+
+// Config assembles a proxy over a replica fleet.
+type Config struct {
+	// Members are the replicas' base URLs, e.g. "http://10.0.0.1:8080".
+	Members []string
+	// Replication is how many replicas serve each model (R). Clamped to the
+	// member count; default 2.
+	Replication int
+	// VNodes per member on the placement ring; default DefaultVNodes.
+	VNodes int
+	// Health tunes member probing.
+	Health HealthConfig
+	// Timeout bounds each forwarded request; default 30s.
+	Timeout time.Duration
+	// OnHealthChange, when non-nil, observes member mark-down/mark-up flips.
+	OnHealthChange func(addr string, healthy bool)
+}
+
+// Proxy is the thin stateless routing tier: it owns no models, keeps no
+// per-request state beyond counters, and can be restarted freely. Placement
+// is pure — any proxy instance over the same member list computes the same
+// ring — so running several proxies needs no coordination.
+type Proxy struct {
+	cfg   Config
+	ring  *Ring
+	check *Checker
+
+	client *http.Client
+	start  time.Time
+
+	forwarded atomic.Uint64 // requests relayed to a replica
+	failovers atomic.Uint64 // estimate retries on a later preference replica
+	rejected  atomic.Uint64 // requests refused because no replica was reachable
+}
+
+// NewProxy validates the config, builds the ring, and starts health probing.
+// Call Close to stop the prober.
+func NewProxy(cfg Config) (*Proxy, error) {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > len(cfg.Members) {
+		cfg.Replication = len(cfg.Members)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	ring, err := NewRing(cfg.Members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		ring:   ring,
+		check:  NewChecker(cfg.Members, cfg.Health, cfg.OnHealthChange),
+		client: &http.Client{Timeout: cfg.Timeout},
+		start:  time.Now(),
+	}
+	p.check.Start()
+	return p, nil
+}
+
+// Close stops the health prober.
+func (p *Proxy) Close() { p.check.Stop() }
+
+// Ring exposes the placement ring (for tests and the cluster endpoint).
+func (p *Proxy) Ring() *Ring { return p.ring }
+
+// Owners returns a model's replica set in preference order.
+func (p *Proxy) Owners(model string) []string { return p.ring.Owners(model, p.cfg.Replication) }
+
+// Handler routes the proxy's endpoints: the forwarding data plane
+// (/v1/estimate, /v1/ingest, /v1/feedback), the rollout control plane, and
+// the fleet views (/v1/healthz, /v1/stats, /v1/models, /v1/cluster). Legacy
+// unversioned aliases forward like their /v1 twins.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", p.estimate)
+	mux.HandleFunc("POST /estimate", p.estimate)
+	mux.HandleFunc("POST /v1/ingest", p.primaryOnly("/v1/ingest"))
+	mux.HandleFunc("POST /ingest", p.primaryOnly("/v1/ingest"))
+	mux.HandleFunc("POST /v1/feedback", p.primaryOnly("/v1/feedback"))
+	mux.HandleFunc("POST /feedback", p.primaryOnly("/v1/feedback"))
+	mux.HandleFunc("POST /v1/models/{name}/rollout", p.rollout)
+	mux.HandleFunc("GET /v1/models", p.models)
+	mux.HandleFunc("GET /models", p.models)
+	mux.HandleFunc("GET /v1/healthz", p.healthz)
+	mux.HandleFunc("GET /healthz", p.healthz)
+	mux.HandleFunc("GET /v1/stats", p.stats)
+	mux.HandleFunc("GET /stats", p.stats)
+	mux.HandleFunc("GET /v1/cluster", p.cluster)
+	return api.WithRequestID(mux)
+}
+
+// routeBody is the slice of an estimate/ingest/feedback body the proxy needs
+// for placement: the model name, or a query to hash when the model is
+// inferred by the replica's router.
+type routeBody struct {
+	Model   string   `json:"model"`
+	Query   string   `json:"query"`
+	Queries []string `json:"queries"`
+}
+
+// routingKey picks the placement key: the model name when the client names
+// one, else the first query text. Keying inferred-model requests by query
+// text keeps repeats of the same expression on the same replica, so the
+// fleet's result caches stay warm even without a model name.
+func (b routeBody) routingKey() string {
+	switch {
+	case b.Model != "":
+		return b.Model
+	case b.Query != "":
+		return b.Query
+	case len(b.Queries) > 0:
+		return b.Queries[0]
+	default:
+		return ""
+	}
+}
+
+// estimate forwards to the key's owners in preference order, skipping
+// marked-down members and failing over on transport errors or 502/503 —
+// estimates are idempotent, so a retry on the next replica is safe. Other
+// statuses (including 429 sheds and 4xx client errors) relay as-is.
+func (p *Proxy) estimate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf("read request: %w", err), nil)
+		return
+	}
+	var rb routeBody
+	if err := json.Unmarshal(body, &rb); err != nil {
+		api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+		return
+	}
+	key := rb.routingKey()
+	if key == "" {
+		api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`provide exactly one of "query" or "queries"`), nil)
+		return
+	}
+	owners := p.Owners(key)
+	tried := 0
+	for _, addr := range p.inRotation(owners) {
+		if tried > 0 {
+			p.failovers.Add(1)
+		}
+		tried++
+		if p.forward(w, r, addr, "/v1/estimate", body) {
+			return
+		}
+	}
+	p.rejected.Add(1)
+	api.WriteError(w, r, http.StatusServiceUnavailable,
+		fmt.Errorf("no replica for key %q is reachable (owners %v)", key, owners),
+		map[string]any{"owners": owners, "tried": tried})
+}
+
+// primaryOnly forwards a mutating request to the model's first healthy
+// owner, without failover: ingest and feedback append state, so blind
+// retries could double-apply them.
+func (p *Proxy) primaryOnly(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf("read request: %w", err), nil)
+			return
+		}
+		var rb routeBody
+		if err := json.Unmarshal(body, &rb); err != nil {
+			api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+			return
+		}
+		if rb.Model == "" {
+			api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`"model" is required`), nil)
+			return
+		}
+		owners := p.Owners(rb.Model)
+		rotation := p.inRotation(owners)
+		if len(rotation) == 0 {
+			p.rejected.Add(1)
+			api.WriteError(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("no replica for model %q is reachable", rb.Model),
+				map[string]any{"owners": owners})
+			return
+		}
+		if !p.forward(w, r, rotation[0], path, body) {
+			p.rejected.Add(1)
+			api.WriteError(w, r, http.StatusBadGateway,
+				fmt.Errorf("primary owner %s did not answer", rotation[0]), nil)
+		}
+	}
+}
+
+// inRotation filters the owner preference list down to members currently
+// marked healthy. When every owner is down, the full list is returned — a
+// probe race may be stale, and trying a "down" replica yields a concrete
+// error instead of a guess.
+func (p *Proxy) inRotation(owners []string) []string {
+	healthy := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if p.check.Healthy(o) {
+			healthy = append(healthy, o)
+		}
+	}
+	if len(healthy) == 0 {
+		return owners
+	}
+	return healthy
+}
+
+// forward relays one request to a replica. It reports true when a response
+// was written (success or a relayable error) and false when the replica is
+// unreachable or draining (502/503), i.e. the caller may fail over.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, addr, path string, body []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, addr+path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.RequestIDHeader, r.Header.Get(api.RequestIDHeader))
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	p.forwarded.Add(1)
+	for _, h := range []string{"Content-Type", "Retry-After", "Deprecation", "Link"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Duet-Replica", addr)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// rolloutRequest drives a rolling version install across a model's owners.
+// Source (optional) names the node serving the artifact; it defaults to the
+// model's first healthy owner, which is where lifecycle retrains run.
+type rolloutRequest struct {
+	Version int    `json:"version"`
+	Source  string `json:"source"`
+}
+
+type rolloutResult struct {
+	Addr   string `json:"addr"`
+	Status string `json:"status"` // "installed", "source", or "failed: ..."
+}
+
+// rollout installs one model version across its replica set, one node at a
+// time — each peer pulls the artifact from the source and drain-swaps it,
+// so at every instant all but one replica serve traffic and in-flight
+// estimates complete on the generation they started on.
+func (p *Proxy) rollout(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req rolloutRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), nil)
+		return
+	}
+	if req.Version <= 0 {
+		api.WriteError(w, r, http.StatusBadRequest, fmt.Errorf(`a positive "version" is required`), nil)
+		return
+	}
+	owners := p.Owners(name)
+	source := req.Source
+	if source == "" {
+		rotation := p.inRotation(owners)
+		if len(rotation) == 0 {
+			api.WriteError(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("no healthy owner to source model %q from", name), nil)
+			return
+		}
+		source = rotation[0]
+	}
+	results := make([]rolloutResult, 0, len(owners))
+	failed := 0
+	for _, addr := range owners {
+		if addr == source {
+			results = append(results, rolloutResult{Addr: addr, Status: "source"})
+			continue
+		}
+		if err := p.pullOn(r, addr, name, source, req.Version); err != nil {
+			results = append(results, rolloutResult{Addr: addr, Status: "failed: " + err.Error()})
+			failed++
+			continue
+		}
+		results = append(results, rolloutResult{Addr: addr, Status: "installed"})
+	}
+	out := map[string]any{"model": name, "version": req.Version, "source": source, "results": results}
+	if failed > 0 {
+		out["failed"] = failed
+	}
+	api.WriteJSON(w, out)
+}
+
+// pullOn asks one peer to pull and install an artifact version.
+func (p *Proxy) pullOn(r *http.Request, addr, name, source string, version int) error {
+	body, _ := json.Marshal(map[string]any{"source": source, "version": version})
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		addr+"/v1/models/"+name+"/pull", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// models merges the fleet's model listings into a placement view: each model
+// name with its owner preference list, so a client can see where everything
+// lives without querying replicas one by one.
+func (p *Proxy) models(w http.ResponseWriter, r *http.Request) {
+	names := map[string]bool{}
+	for _, addr := range p.healthyMembers() {
+		var out struct {
+			Models []struct {
+				Name string `json:"name"`
+			} `json:"models"`
+		}
+		if err := p.getJSON(r, addr+"/v1/models", &out); err != nil {
+			continue
+		}
+		for _, m := range out.Models {
+			names[m.Name] = true
+		}
+	}
+	type placement struct {
+		Name   string   `json:"name"`
+		Owners []string `json:"owners"`
+	}
+	list := make([]placement, 0, len(names))
+	for n := range names {
+		list = append(list, placement{Name: n, Owners: p.Owners(n)})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	api.WriteJSON(w, map[string]any{"models": list})
+}
+
+// healthz reports the proxy's own liveness plus every member's probe state.
+// The proxy is "ok" while at least one member is in rotation, "degraded"
+// otherwise — it still answers, but estimates will shed.
+func (p *Proxy) healthz(w http.ResponseWriter, _ *http.Request) {
+	snapshot := p.check.Snapshot()
+	status := "degraded"
+	for _, m := range snapshot {
+		if m.Healthy {
+			status = "ok"
+			break
+		}
+	}
+	api.WriteJSON(w, map[string]any{
+		"status":   status,
+		"role":     "proxy",
+		"members":  snapshot,
+		"uptime_s": int64(time.Since(p.start).Seconds()),
+	})
+}
+
+// stats reports the proxy's routing counters and each healthy member's own
+// /v1/stats payload, keyed by address.
+func (p *Proxy) stats(w http.ResponseWriter, r *http.Request) {
+	members := map[string]json.RawMessage{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, addr := range p.healthyMembers() {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			var raw json.RawMessage
+			if err := p.getJSON(r, addr+"/v1/stats", &raw); err != nil {
+				return
+			}
+			mu.Lock()
+			members[addr] = raw
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	api.WriteJSON(w, map[string]any{
+		"proxy": map[string]any{
+			"forwarded": p.forwarded.Load(),
+			"failovers": p.failovers.Load(),
+			"rejected":  p.rejected.Load(),
+		},
+		"members": members,
+	})
+}
+
+// cluster reports the ring configuration and membership.
+func (p *Proxy) cluster(w http.ResponseWriter, _ *http.Request) {
+	api.WriteJSON(w, map[string]any{
+		"members":     p.ring.Members(),
+		"replication": p.cfg.Replication,
+		"health":      p.check.Snapshot(),
+	})
+}
+
+func (p *Proxy) healthyMembers() []string {
+	out := make([]string, 0, len(p.cfg.Members))
+	for _, m := range p.cfg.Members {
+		if p.check.Healthy(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// getJSON fetches one member endpoint into v.
+func (p *Proxy) getJSON(r *http.Request, url string, v any) error {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

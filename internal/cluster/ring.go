@@ -1,0 +1,108 @@
+// Package cluster scales duetserve horizontally: a consistent-hash ring
+// places each model on a replica subset of the fleet, a health checker
+// tracks which members are serving, and a thin stateless proxy routes
+// estimates to the owners — failing over between replicas — and drives
+// rolling installs of retrained model versions across them.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 vnodes keep the
+// ring's per-member load imbalance in the low single-digit percents for
+// small fleets while the ring stays a few KB.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over member addresses. Each
+// member projects VNodes points onto the 64-bit hash circle; a key's owners
+// are the first R distinct members at or after the key's hash, walking
+// clockwise. Adding or removing one member therefore remaps only the keys
+// whose arcs it gains or loses — about 1/N of them — which is what keeps a
+// membership change from invalidating the whole fleet's model placement and
+// cache affinity.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int // index into members
+}
+
+// NewRing builds a ring over the given member addresses with vnodes virtual
+// nodes each (<= 0 selects DefaultVNodes). Member order does not matter;
+// duplicate members are an error.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: a ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{
+		members: append([]string(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for i, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member address")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, v)), owner: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// Members returns the ring's member addresses in construction order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Owners returns the key's replica set in preference order: the first n
+// distinct members clockwise from the key's hash. n is clamped to the
+// member count. The first element is the key's primary owner.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.owner] {
+			taken[p.owner] = true
+			out = append(out, r.members[p.owner])
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. Raw FNV-1a avalanches
+// poorly on short strings that differ only in a trailing digit — exactly
+// what model names look like — which clusters key hashes onto a slice of
+// the circle and starves some members; the finalizer spreads them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d", i)
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r, err := NewRing(members(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(50) {
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("%s: %d owners", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("%s: duplicate owner %s", key, o)
+			}
+			seen[o] = true
+		}
+		// Lookups are deterministic.
+		again := r.Owners(key, 3)
+		for i := range owners {
+			if owners[i] != again[i] {
+				t.Fatalf("%s: owners changed between lookups", key)
+			}
+		}
+	}
+	// Replication clamps to the member count.
+	if got := r.Owners("anything", 99); len(got) != 5 {
+		t.Fatalf("clamped owners: %d", len(got))
+	}
+}
+
+// TestRingPlacementStability is the consistent-hashing property: removing
+// one of N members must remap only the keys it owned (~1/N), and adding a
+// member back must move only the keys it takes over.
+func TestRingPlacementStability(t *testing.T) {
+	const n = 6
+	keys := ringKeys(2000)
+	full, err := NewRing(members(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing(members(n)[:n-1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members(n)[n-1]
+	moved := 0
+	for _, key := range keys {
+		before := full.Owners(key, 1)[0]
+		after := smaller.Owners(key, 1)[0]
+		if before != after {
+			moved++
+			// Only keys the removed member owned may move.
+			if before != removed {
+				t.Fatalf("%s moved from surviving member %s to %s", key, before, after)
+			}
+		}
+	}
+	// The removed member owned ~1/6 of the keys. Allow generous imbalance:
+	// moved keys must stay below 2x the fair share and above zero.
+	fair := len(keys) / n
+	if moved == 0 || moved > 2*fair {
+		t.Fatalf("moved %d of %d keys on member removal (fair share %d)", moved, len(keys), fair)
+	}
+
+	// Load spreads: every member is primary for a nontrivial key share.
+	counts := map[string]int{}
+	for _, key := range keys {
+		counts[full.Owners(key, 1)[0]]++
+	}
+	for _, m := range members(n) {
+		if counts[m] < fair/4 {
+			t.Fatalf("member %s is primary for only %d of %d keys", m, counts[m], len(keys))
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}

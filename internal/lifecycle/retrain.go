@@ -96,7 +96,7 @@ func (s *Supervisor) retrain(mg *managed) {
 	}
 	if err == nil {
 		t1 := time.Now()
-		err = s.reg.SwapModel(mg.name, m, registry.SwapOpts{Path: st.Path})
+		err = s.reg.SwapModel(mg.name, m, registry.SwapOpts{Path: st.Path, Version: version})
 		st.SwapLatency = time.Since(t1)
 	}
 	st.Err = err

@@ -1,0 +1,136 @@
+package registry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"duet/internal/workload"
+)
+
+// TestQueryWrapsExprPath: Query's Expr path must answer bitwise equal to the
+// EstimateExpr wrapper, join routing and calibration included.
+func TestQueryWrapsExprPath(t *testing.T) {
+	reg, _ := joinFixture(t)
+	ctx := context.Background()
+	exprs := []string{
+		"orders.amount<=10",
+		"orders.cust_id = customers.id AND orders.amount<=10",
+		"customers.region>2",
+	}
+	for _, expr := range exprs {
+		name, want, err := reg.EstimateExpr(ctx, "", expr)
+		if err != nil {
+			t.Fatalf("EstimateExpr %q: %v", expr, err)
+		}
+		res, err := reg.Query(ctx, QueryRequest{Expr: expr})
+		if err != nil {
+			t.Fatalf("Query %q: %v", expr, err)
+		}
+		if len(res.Models) != 1 || len(res.Cards) != 1 {
+			t.Fatalf("Query %q: %+v", expr, res)
+		}
+		if res.Models[0] != name || math.Float64bits(res.Cards[0]) != math.Float64bits(want) {
+			t.Fatalf("Query %q: got (%q, %v), want (%q, %v)", expr, res.Models[0], res.Cards[0], name, want)
+		}
+	}
+
+	// The batch path answers positionally and matches the singles.
+	res, err := reg.Query(ctx, QueryRequest{Exprs: exprs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cards) != len(exprs) {
+		t.Fatalf("batch answered %d of %d", len(res.Cards), len(exprs))
+	}
+	for i, expr := range exprs {
+		_, want, err := reg.EstimateExpr(ctx, "", expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.Cards[i]) != math.Float64bits(want) {
+			t.Fatalf("batch[%d] %q: %v != %v", i, expr, res.Cards[i], want)
+		}
+	}
+}
+
+// TestQueryPreParsedPath: the Queries path matches EstimateBatch against the
+// named model and requires a model name.
+func TestQueryPreParsedPath(t *testing.T) {
+	reg, joined := joinFixture(t)
+	ctx := context.Background()
+	qs := testQueries(joined, 8)
+
+	want, err := reg.EstimateBatch(ctx, "orders_customers", qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Query(ctx, QueryRequest{Model: "orders_customers", Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if math.Float64bits(res.Cards[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("query %d: %v != %v", i, res.Cards[i], want[i])
+		}
+		if res.Models[i] != "orders_customers" {
+			t.Fatalf("query %d answered by %q", i, res.Models[i])
+		}
+	}
+
+	if _, err := reg.Query(ctx, QueryRequest{Queries: qs}); err == nil {
+		t.Fatal("pre-parsed queries without a model must error")
+	}
+}
+
+// TestQueryValidation: a request must set exactly one input field.
+func TestQueryValidation(t *testing.T) {
+	reg, _ := joinFixture(t)
+	ctx := context.Background()
+	bad := []QueryRequest{
+		{},
+		{Expr: "orders.amount<=10", Exprs: []string{"orders.amount<=10"}},
+		{Expr: "orders.amount<=10", Queries: []workload.Query{{}}},
+		{Exprs: []string{"orders.amount<=10"}, Queries: []workload.Query{{}}},
+	}
+	for i, req := range bad {
+		if _, err := reg.Query(ctx, req); err == nil {
+			t.Fatalf("request %d should be rejected: %+v", i, req)
+		}
+	}
+	// A bad expression in a batch names its position.
+	_, err := reg.Query(ctx, QueryRequest{Exprs: []string{"orders.amount<=10", "no_such.thing<=1"}})
+	if err == nil || !strings.Contains(err.Error(), "queries[1]") {
+		t.Fatalf("batch error should name the failing position: %v", err)
+	}
+}
+
+// TestSwapRecordsVersion: a versioned swap surfaces in ModelInfo and the
+// per-model stats snapshot.
+func TestSwapRecordsVersion(t *testing.T) {
+	ta := testTable("alpha", 3)
+	reg := New(Config{Dir: t.TempDir()})
+	defer reg.Close()
+	if err := reg.Add("alpha", ta, trainedModel(ta, 5), AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SwapModel("alpha", trainedModel(ta, 6), SwapOpts{Version: 4}); err != nil {
+		t.Fatal(err)
+	}
+	infos := reg.Info()
+	if len(infos) != 1 || infos[0].Version != 4 || infos[0].Swaps != 1 {
+		t.Fatalf("info after versioned swap: %+v", infos)
+	}
+	st := reg.Stats().PerModel["alpha"]
+	if st.Version != 4 || st.Swaps != 1 {
+		t.Fatalf("stats after versioned swap: %+v", st)
+	}
+	// An unversioned swap keeps the recorded version.
+	if err := reg.SwapModel("alpha", trainedModel(ta, 7), SwapOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.Stats().PerModel["alpha"]; st.Version != 4 || st.Swaps != 2 {
+		t.Fatalf("stats after unversioned swap: %+v", st)
+	}
+}

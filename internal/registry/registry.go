@@ -104,6 +104,7 @@ type entry struct {
 	reloadMu sync.Mutex // serializes reloads and swaps of this entry
 	reloads  atomic.Uint64
 	swaps    atomic.Uint64
+	version  atomic.Int64 // lifecycle artifact version; 0 until a versioned swap
 }
 
 // ModelInfo is a snapshot of one registered model for listings and stats.
@@ -118,6 +119,7 @@ type ModelInfo struct {
 	ModelBytes int64          `json:"model_bytes"`
 	Reloads    uint64         `json:"reloads"`
 	Swaps      uint64         `json:"swaps"`
+	Version    int            `json:"version"`
 	Serve      serve.Stats    `json:"serve"`
 }
 
@@ -460,6 +462,7 @@ func (r *Registry) Info() []ModelInfo {
 			Path:    e.path,
 			Reloads: e.reloads.Load(),
 			Swaps:   e.swaps.Load(),
+			Version: int(e.version.Load()),
 		}
 		if e.graph != nil {
 			spec := e.graph.spec
@@ -483,21 +486,32 @@ func (r *Registry) Info() []ModelInfo {
 	return out
 }
 
+// ModelStats is one model's slice of a Stats snapshot: the serving-engine
+// counters plus the lifecycle identity (artifact version, swap and reload
+// counts) taken in the same generation-pinned pass, so the pair is coherent —
+// a version never reports with the previous generation's engine counters.
+type ModelStats struct {
+	serve.Stats
+	Version int    `json:"version"`
+	Swaps   uint64 `json:"swaps"`
+	Reloads uint64 `json:"reloads"`
+}
+
 // Stats aggregates router counters and per-model engine stats.
 type Stats struct {
-	Models     int                    `json:"models"`
-	Routed     uint64                 `json:"routed"`
-	JoinRouted uint64                 `json:"join_routed"`
-	PerModel   map[string]serve.Stats `json:"per_model"`
+	Models     int                   `json:"models"`
+	Routed     uint64                `json:"routed"`
+	JoinRouted uint64                `json:"join_routed"`
+	PerModel   map[string]ModelStats `json:"per_model"`
 }
 
 // Stats snapshots the registry counters.
 func (r *Registry) Stats() Stats {
 	info := r.Info()
 	s := Stats{Models: len(info), Routed: r.routed.Load(), JoinRouted: r.joinRouted.Load(),
-		PerModel: make(map[string]serve.Stats, len(info))}
+		PerModel: make(map[string]ModelStats, len(info))}
 	for _, mi := range info {
-		s.PerModel[mi.Name] = mi.Serve
+		s.PerModel[mi.Name] = ModelStats{Stats: mi.Serve, Version: mi.Version, Swaps: mi.Swaps, Reloads: mi.Reloads}
 	}
 	return s
 }
@@ -587,6 +601,11 @@ type SwapOpts struct {
 	// from memory). The file's current size and mtime are snapshotted so the
 	// watcher does not re-trigger on the swap's own save.
 	Path string
+	// Version, when positive, records the lifecycle artifact version the
+	// installed weights came from; it surfaces in ModelInfo, Stats, and the
+	// /v1/models listing so operators and the cluster rollout can tell which
+	// generation each replica serves.
+	Version int
 }
 
 // SwapModel atomically replaces a registered model — and the table it
@@ -665,6 +684,9 @@ func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
 	}
 	r.mu.Unlock()
 	e.swaps.Add(1)
+	if opts.Version > 0 {
+		e.version.Store(int64(opts.Version))
+	}
 	old.wg.Wait()
 	old.est.Close()
 	return nil

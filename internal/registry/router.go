@@ -109,65 +109,23 @@ func (r *Registry) Route(target, expr string) (string, workload.Query, error) {
 
 // EstimateExpr routes an expression and answers it with the resolved model,
 // applying any fanout calibration, and returns the model name alongside the
-// estimate.
+// estimate. It is a wrapper over Query, kept for callers that want the
+// one-expression signature.
 func (r *Registry) EstimateExpr(ctx context.Context, target, expr string) (string, float64, error) {
-	res, err := r.Resolve(target, expr)
+	res, err := r.Query(ctx, QueryRequest{Model: target, Expr: expr})
 	if err != nil {
 		return "", 0, err
 	}
-	if res.Calib == nil {
-		card, err := r.Estimate(ctx, res.Model, res.Query)
-		return res.Model, card, err
-	}
-	got, err := r.EstimateBatch(ctx, res.Model, []workload.Query{res.Query, *res.Calib})
-	if err != nil {
-		return "", 0, err
-	}
-	return res.Model, res.estimate(got[0], got[1]), nil
+	return res.Models[0], res.Cards[0], nil
 }
 
-// EstimateResolutions answers a batch of resolutions, grouping them by model
-// so each backend sees one batched call carrying both the predicate and the
-// calibration queries. The result order matches the input.
+// EstimateResolutions answers a batch of pre-routed resolutions, grouping
+// them by model so each backend sees one batched call carrying both the
+// predicate and the calibration queries. The result order matches the input.
+// It is the advanced companion to Query for callers that resolve once and
+// replay (Query's Exprs path re-resolves every call).
 func (r *Registry) EstimateResolutions(ctx context.Context, rs []Resolution) ([]float64, error) {
-	type group struct {
-		qs   []workload.Query
-		pred []int // index into qs of each resolution's predicate query
-		cal  []int // index into qs of each resolution's calibration (-1 none)
-		idx  []int // position in rs
-	}
-	groups := map[string]*group{}
-	for i, res := range rs {
-		g := groups[res.Model]
-		if g == nil {
-			g = &group{}
-			groups[res.Model] = g
-		}
-		g.idx = append(g.idx, i)
-		g.pred = append(g.pred, len(g.qs))
-		g.qs = append(g.qs, res.Query)
-		if res.Calib != nil {
-			g.cal = append(g.cal, len(g.qs))
-			g.qs = append(g.qs, *res.Calib)
-		} else {
-			g.cal = append(g.cal, -1)
-		}
-	}
-	out := make([]float64, len(rs))
-	for name, g := range groups {
-		got, err := r.EstimateBatch(ctx, name, g.qs)
-		if err != nil {
-			return nil, err
-		}
-		for j, i := range g.idx {
-			calib := 0.0
-			if g.cal[j] >= 0 {
-				calib = got[g.cal[j]]
-			}
-			out[i] = rs[i].estimate(got[g.pred[j]], calib)
-		}
-	}
-	return out, nil
+	return r.estimateResolutions(ctx, rs)
 }
 
 // routeSingle resolves a join-free expression against a named (or the sole)

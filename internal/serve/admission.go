@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds the load one estimator accepts. The zero value
+// admits everything (the pre-admission behavior). Admission is what lets a
+// replica shed overload per model instead of letting one hot model's queue
+// absorb the whole process: a token bucket caps the sustained query rate and
+// a queue bound caps how much latency backlog may accumulate behind the
+// dispatcher before further requests are rejected outright.
+type AdmissionConfig struct {
+	// QPS is the sustained queries-per-second budget across Estimate and
+	// EstimateBatch items. <= 0 disables rate limiting.
+	QPS float64
+	// Burst is the token-bucket depth: how many queries above the sustained
+	// rate may be admitted back-to-back. Default max(1, QPS) when QPS is set.
+	Burst int
+	// MaxQueue bounds the pending single-query requests waiting for the
+	// dispatcher. When the backlog is full, Estimate sheds immediately
+	// instead of blocking. <= 0 keeps the blocking behavior.
+	MaxQueue int
+}
+
+// enabled reports whether any admission bound is configured.
+func (a AdmissionConfig) enabled() bool { return a.QPS > 0 || a.MaxQueue > 0 }
+
+func (a AdmissionConfig) withDefaults() AdmissionConfig {
+	if a.QPS > 0 && a.Burst <= 0 {
+		a.Burst = int(math.Max(1, a.QPS))
+	}
+	return a
+}
+
+// ErrOverloaded marks estimates rejected by admission control. Errors carry
+// a *OverloadError with the retry hint; match with errors.Is(err,
+// ErrOverloaded) and unwrap with errors.As.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// OverloadError reports one shed request: which bound tripped and how long a
+// client should wait before retrying (the token-bucket refill horizon, or a
+// queue-drain guess). It unwraps to ErrOverloaded.
+type OverloadError struct {
+	// Reason is "rate" (token bucket empty) or "queue" (backlog full).
+	Reason string
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s limit); retry after %s", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// bucket is a monotonic-clock token bucket. Tokens refill continuously at
+// rate per second up to burst; take is all-or-nothing so a batch is either
+// admitted whole or shed whole (partial admission would answer a fraction of
+// a batch, which no caller can use).
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take admits n queries, or reports the wait until they could be admitted.
+func (b *bucket) take(n int) (bool, time.Duration) {
+	need := float64(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	deficit := need - b.tokens
+	if need > b.burst {
+		// The batch can never fit the bucket; report the full-refill horizon
+		// so the client splits or backs off hard.
+		deficit = need
+	}
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// admit applies the estimator's rate budget to n incoming queries, returning
+// the shed error for the caller to propagate (nil admits). The queue bound is
+// enforced separately at the enqueue site, where channel capacity makes it
+// exact.
+func (e *Estimator) admit(n int) error {
+	if e.bucket != nil {
+		if ok, wait := e.bucket.take(n); !ok {
+			e.shed.Add(uint64(n))
+			return &OverloadError{Reason: "rate", RetryAfter: wait}
+		}
+	}
+	return nil
+}
+
+// shedQueue records one queue-bound rejection and builds its error.
+func (e *Estimator) shedQueue() error {
+	e.shed.Add(1)
+	return &OverloadError{Reason: "queue", RetryAfter: e.queueRetry()}
+}
+
+// queueRetry estimates how long until a full backlog has drained enough to
+// retry: the backlog size over the rate budget when one is set, otherwise a
+// flat flush-window multiple.
+func (e *Estimator) queueRetry() time.Duration {
+	if a := e.cfg.Admission; a.QPS > 0 {
+		return time.Duration(float64(a.MaxQueue) / a.QPS * float64(time.Second))
+	}
+	if e.cfg.FlushWindow > 0 {
+		return 4 * e.cfg.FlushWindow
+	}
+	return 10 * time.Millisecond
+}

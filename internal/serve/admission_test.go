@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"duet/internal/workload"
+)
+
+// slowBackend answers batches after an optional delay, for backlog tests.
+type slowBackend struct {
+	delay time.Duration
+}
+
+func (b *slowBackend) EstimateCardBatch(qs []workload.Query) []float64 {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	out := make([]float64, len(qs))
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func q(col int, code int32) workload.Query {
+	return workload.Query{Preds: []workload.Predicate{{Col: col, Op: workload.OpLe, Code: code}}}
+}
+
+func TestRateAdmissionSheds(t *testing.T) {
+	e := New(&slowBackend{}, Config{
+		CacheSize: -1,
+		Admission: AdmissionConfig{QPS: 1, Burst: 2},
+	})
+	defer e.Close()
+	ctx := context.Background()
+
+	// The burst admits two queries; the third must shed with a retry hint.
+	for i := range 2 {
+		if _, err := e.Estimate(ctx, q(0, int32(i))); err != nil {
+			t.Fatalf("burst query %d: %v", i, err)
+		}
+	}
+	_, err := e.Estimate(ctx, q(0, 99))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != "rate" || ov.RetryAfter <= 0 {
+		t.Fatalf("overload detail: %+v", ov)
+	}
+	if s := e.Stats(); s.Shed != 1 || s.RateLimit != 1 {
+		t.Fatalf("stats after shed: %+v", s)
+	}
+	// The bucket refills: after ~1s one more token is available. Poll rather
+	// than sleep a fixed amount so the test stays robust on loaded runners.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := e.Estimate(ctx, q(0, 100)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestRateAdmissionBatchAllOrNothing(t *testing.T) {
+	e := New(&slowBackend{}, Config{
+		CacheSize: -1,
+		Admission: AdmissionConfig{QPS: 1, Burst: 4},
+	})
+	defer e.Close()
+	ctx := context.Background()
+
+	// A 6-query batch cannot ever fit the 4-token bucket whole.
+	qs := make([]workload.Query, 6)
+	for i := range qs {
+		qs[i] = q(0, int32(i))
+	}
+	if _, err := e.EstimateBatch(ctx, qs); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("oversized batch: want ErrOverloaded, got %v", err)
+	}
+	// A batch within the burst is admitted whole.
+	if got, err := e.EstimateBatch(ctx, qs[:3]); err != nil || len(got) != 3 {
+		t.Fatalf("in-budget batch: %v %v", got, err)
+	}
+}
+
+func TestCacheHitsBypassAdmission(t *testing.T) {
+	e := New(&slowBackend{}, Config{
+		Admission: AdmissionConfig{QPS: 1, Burst: 1},
+	})
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Estimate(ctx, q(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Same query repeated: cache hits never spend budget or shed.
+	for range 20 {
+		if _, err := e.Estimate(ctx, q(0, 1)); err != nil {
+			t.Fatalf("cached query shed: %v", err)
+		}
+	}
+}
+
+func TestQueueBoundSheds(t *testing.T) {
+	// A slow backend and a tiny queue: flooding single-query requests must
+	// shed with the queue reason instead of blocking forever.
+	e := New(&slowBackend{delay: 20 * time.Millisecond}, Config{
+		MaxBatch:    1,
+		FlushWindow: -1,
+		CacheSize:   -1,
+		Admission:   AdmissionConfig{MaxQueue: 2},
+	})
+	defer e.Close()
+	ctx := context.Background()
+
+	results := make(chan error, 32)
+	for i := range 32 {
+		go func(i int) {
+			_, err := e.Estimate(ctx, q(0, int32(i)))
+			results <- err
+		}(i)
+	}
+	var shed, served int
+	for range 32 {
+		err := <-results
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrOverloaded):
+			var ov *OverloadError
+			if !errors.As(err, &ov) || ov.Reason != "queue" {
+				t.Fatalf("queue shed detail: %v", err)
+			}
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if shed == 0 || served == 0 {
+		t.Fatalf("want a mix of served and shed, got served=%d shed=%d", served, shed)
+	}
+	if s := e.Stats(); s.Shed != uint64(shed) {
+		t.Fatalf("shed counter %d, want %d", s.Shed, shed)
+	}
+}
+
+func TestZeroAdmissionUnchanged(t *testing.T) {
+	e := New(&slowBackend{}, Config{CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	for i := range 100 {
+		if _, err := e.Estimate(ctx, q(0, int32(i%7))); err != nil {
+			t.Fatalf("no-admission estimate: %v", err)
+		}
+	}
+	if s := e.Stats(); s.Shed != 0 || s.RateLimit != 0 {
+		t.Fatalf("no-admission stats: %+v", s)
+	}
+}

@@ -60,7 +60,12 @@ type Config struct {
 	// negative disables caching.
 	CacheSize int
 	// QueueDepth is the pending-request channel capacity. Default 4×MaxBatch.
+	// Admission.MaxQueue, when set, overrides it: the channel capacity is the
+	// queue bound, so the shed decision is exact.
 	QueueDepth int
+	// Admission bounds the load the engine accepts (per-model QPS token
+	// bucket and queue-depth shedding). The zero value admits everything.
+	Admission AdmissionConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -73,20 +78,27 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
 	}
+	c.Admission = c.Admission.withDefaults()
+	if c.Admission.MaxQueue > 0 {
+		c.QueueDepth = c.Admission.MaxQueue
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch
 	}
 	return c
 }
 
-// Stats is a snapshot of the engine's counters.
+// Stats is a snapshot of the engine's counters. The JSON names are the
+// /v1/stats wire contract of cmd/duetserve.
 type Stats struct {
-	Requests       uint64 // queries received (Estimate + EstimateBatch items)
-	CacheHits      uint64 // queries answered from the LRU cache
-	Batches        uint64 // backend forward passes issued
-	BatchedQueries uint64 // queries answered by those passes (after dedup)
-	MaxBatch       uint64 // largest backend batch observed
-	CacheEntries   int    // current cache occupancy
+	Requests       uint64  `json:"requests"`             // queries received (Estimate + EstimateBatch items)
+	CacheHits      uint64  `json:"cache_hits"`           // queries answered from the LRU cache
+	Batches        uint64  `json:"batches"`              // backend forward passes issued
+	BatchedQueries uint64  `json:"batched_queries"`      // queries answered by those passes (after dedup)
+	MaxBatch       uint64  `json:"max_batch"`            // largest backend batch observed
+	CacheEntries   int     `json:"cache_entries"`        // current cache occupancy
+	Shed           uint64  `json:"shed"`                 // queries rejected by admission control
+	RateLimit      float64 `json:"rate_limit,omitempty"` // configured QPS budget (0 = unlimited)
 }
 
 // request is one in-flight single-query estimate.
@@ -110,11 +122,14 @@ type Estimator struct {
 	drained chan struct{} // closed when the dispatcher has exited
 	closeMu sync.Once
 
+	bucket *bucket // nil when no rate budget is configured
+
 	requests  atomic.Uint64
 	hits      atomic.Uint64
 	batches   atomic.Uint64
 	batched   atomic.Uint64
 	maxSeen   atomic.Uint64
+	shed      atomic.Uint64
 	reqPool   sync.Pool // recycles result channels across requests
 	dispBatch []request // dispatcher-only scratch
 	dispQs    []workload.Query
@@ -134,6 +149,9 @@ func New(backend Backend, cfg Config) *Estimator {
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
 		dispIdx: make(map[string]int, cfg.MaxBatch),
+	}
+	if cfg.Admission.QPS > 0 {
+		e.bucket = newBucket(cfg.Admission.QPS, cfg.Admission.Burst)
 	}
 	e.reqPool.New = func() any { return make(chan float64, 1) }
 	go e.run()
@@ -158,16 +176,35 @@ func (e *Estimator) Estimate(ctx context.Context, q workload.Query) (float64, er
 		e.hits.Add(1)
 		return card, nil
 	}
+	// Admission guards the backend, so cache hits above are always free; only
+	// a miss spends rate budget or queue room.
+	if err := e.admit(1); err != nil {
+		return 0, err
+	}
 	out := e.reqPool.Get().(chan float64)
 	r := request{key: key, q: q, out: out}
-	select {
-	case e.reqs <- r:
-	case <-ctx.Done():
-		e.reqPool.Put(out)
-		return 0, ctx.Err()
-	case <-e.done:
-		e.reqPool.Put(out)
-		return 0, ErrClosed
+	if e.cfg.Admission.MaxQueue > 0 {
+		// Queue-bounded: the channel capacity is the bound, so a full channel
+		// sheds instead of blocking the caller behind the backlog.
+		select {
+		case e.reqs <- r:
+		case <-e.done:
+			e.reqPool.Put(out)
+			return 0, ErrClosed
+		default:
+			e.reqPool.Put(out)
+			return 0, e.shedQueue()
+		}
+	} else {
+		select {
+		case e.reqs <- r:
+		case <-ctx.Done():
+			e.reqPool.Put(out)
+			return 0, ctx.Err()
+		case <-e.done:
+			e.reqPool.Put(out)
+			return 0, ErrClosed
+		}
 	}
 	select {
 	case card := <-out:
@@ -222,6 +259,13 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 		}
 		missIdx[keys[i]] = append(missIdx[keys[i]], i)
 	}
+	// Rate-admit the distinct misses as one unit: a partially answered batch
+	// is useless to the caller, so admission is all-or-nothing.
+	if len(misses) > 0 {
+		if err := e.admit(len(misses)); err != nil {
+			return nil, err
+		}
+	}
 	for lo := 0; lo < len(misses); lo += e.cfg.MaxBatch {
 		select {
 		case <-ctx.Done():
@@ -256,6 +300,8 @@ func (e *Estimator) Stats() Stats {
 		BatchedQueries: e.batched.Load(),
 		MaxBatch:       e.maxSeen.Load(),
 		CacheEntries:   e.cache.len(),
+		Shed:           e.shed.Load(),
+		RateLimit:      e.cfg.Admission.QPS,
 	}
 }
 
