@@ -26,13 +26,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Fresh perf snapshot gated against the committed baseline (BENCH_PR6.json);
+# Fresh perf snapshot gated against the committed baseline (BENCH_PR7.json);
 # `make perf-baseline` refreshes the baseline itself after an intentional change.
 perf:
-	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR6.json -max-regress 0.30 -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR7.json -max-regress 0.30 -scale tiny
 
 perf-baseline:
-	$(GO) run ./cmd/duetbench -json BENCH_PR6.json -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_PR7.json -scale tiny
 
 serve:
 	$(GO) run ./cmd/duetserve -syn census -rows 20000

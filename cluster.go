@@ -58,9 +58,10 @@ var ErrOverloaded = serve.ErrOverloaded
 
 // NewAPIServer builds the /v1 HTTP server over a registry. lc may be nil
 // (lifecycle endpoints answer 404); dir is the versioned-artifact directory
-// ("" disables the version endpoints). Mount APIServer.Handler.
-func NewAPIServer(reg *Registry, lc *Lifecycle, dir string) *APIServer {
-	return api.New(reg, lc, dir)
+// ("" disables the version endpoints); suite wires the observability routes
+// and middleware (nil serves without them). Mount APIServer.Handler.
+func NewAPIServer(reg *Registry, lc *Lifecycle, dir string, suite *ObsSuite) *APIServer {
+	return api.New(reg, lc, dir, suite)
 }
 
 // NewClusterProxy builds the routing proxy over a fleet and starts health

@@ -58,7 +58,7 @@ func startFleet(t *testing.T, n int) *fleet {
 		if err := reg.Add("alpha", tbl, duet.New(tbl, cfg), duet.AddOpts{}); err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(duet.NewAPIServer(reg, nil, dir).Handler())
+		srv := httptest.NewServer(duet.NewAPIServer(reg, nil, dir, nil).Handler())
 		t.Cleanup(srv.Close)
 		f.urls = append(f.urls, srv.URL)
 		f.servers[srv.URL] = srv

@@ -31,7 +31,7 @@ func lifecycleServer(t *testing.T) (*duet.Registry, *duet.Lifecycle) {
 
 func TestLifecycleEndpoints(t *testing.T) {
 	reg, lc := lifecycleServer(t)
-	mux := duet.NewAPIServer(reg, lc, "").Handler()
+	mux := duet.NewAPIServer(reg, lc, "", nil).Handler()
 
 	// Ingest: numbers and strings both parse; the drift signal reports back.
 	rec, out := doJSON(t, mux, "POST", "/ingest", map[string]any{
@@ -135,7 +135,7 @@ func TestManifestLifecycleBlock(t *testing.T) {
 	if err := assembleRegistry(reg, man, dir, dir, false, duet.ServeConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	lc, err := startLifecycle(reg, man, dir)
+	lc, err := startLifecycle(reg, man, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

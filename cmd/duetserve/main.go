@@ -63,7 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -97,10 +97,28 @@ func main() {
 	proxyMode := flag.Bool("proxy", false, "run as a cluster proxy over -members (or the manifest's cluster block) instead of serving models")
 	members := flag.String("members", "", "comma-separated replica base URLs (proxy mode)")
 	replication := flag.Int("replication", 0, "replicas per model in proxy mode (default 2, or the manifest's cluster.replication)")
+	// Observability flags.
+	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at GET /v1/metrics")
+	traceRing := flag.Int("trace-ring", 256, "recent request traces retained for GET /v1/debug/traces (negative disables tracing)")
+	slowQueryMS := flag.Int("slow-query-ms", 250, "log traced requests slower than this many milliseconds (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	flag.Parse()
 
+	logger := duet.NewObsLogger(os.Stderr, parseLevel(*logLevel))
+	slog.SetDefault(logger)
+	suite := duet.NewObsSuite(duet.ObsConfig{
+		TraceRing: *traceRing,
+		SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+		Log:       logger,
+		Pprof:     *pprofOn,
+	})
+	if !*metricsOn {
+		suite.Metrics = nil
+	}
+
 	if *proxyMode {
-		if err := runProxy(*addr, *members, *manifestPath, *replication); err != nil {
+		if err := runProxy(*addr, *members, *manifestPath, *replication, suite); err != nil {
 			fatal(err)
 		}
 		return
@@ -111,11 +129,12 @@ func main() {
 		Dir:           *modelDir,
 		Serve:         baseServe,
 		WatchInterval: *watch,
+		Obs:           suite.Metrics,
 		OnReload: func(name string, err error) {
 			if err != nil {
-				log.Printf("%s: reload failed: %v", name, err)
+				slog.Error("hot reload failed", "model", name, "error", err)
 			} else {
-				log.Printf("%s: hot-reloaded", name)
+				slog.Info("model hot-reloaded", "model", name)
 			}
 		},
 	})
@@ -137,14 +156,14 @@ func main() {
 			fatal(err)
 		}
 		if *buildJoin {
-			log.Printf("join views built and saved under %s; exiting (-build-join)", *modelDir)
+			slog.Info("join views built and saved; exiting (-build-join)", "dir", *modelDir)
 			return
 		}
 		if man.Lifecycle != nil {
-			if lc, err = startLifecycle(reg, man, *modelDir); err != nil {
+			if lc, err = startLifecycle(reg, man, *modelDir, suite); err != nil {
 				fatal(err)
 			}
-			log.Printf("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle (versioned models under %s)", *modelDir)
+			slog.Info("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle", "dir", *modelDir)
 		}
 	case *csvPath != "" || *syn != "":
 		if err := registerSingle(reg, *csvPath, *syn, *rows, *seed, *modelPath, *train); err != nil {
@@ -154,7 +173,7 @@ func main() {
 		fatal(fmt.Errorf("pass -manifest FILE, -csv FILE, or -syn dmv|kdd|census"))
 	}
 
-	srv := duet.NewAPIServer(reg, lc, *modelDir)
+	srv := duet.NewAPIServer(reg, lc, *modelDir, suite)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -170,7 +189,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d models on %s: %s", reg.Len(), *addr, strings.Join(reg.Names(), ", "))
+	slog.Info("serving", "models", reg.Len(), "addr", *addr, "names", strings.Join(reg.Names(), ", "))
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -178,19 +197,33 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Println("shutdown signal received; draining")
+		slog.Info("shutdown signal received; draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Println("shutdown:", err)
+			slog.Error("shutdown failed", "error", err)
 		}
 		if lc != nil {
 			lc.Close() // waits out in-flight retrains before the registry drains
 		}
 		if err := reg.Close(); err != nil {
-			log.Println("registry close:", err)
+			slog.Error("registry close failed", "error", err)
 		}
-		log.Println("bye")
+		slog.Info("bye")
+	}
+}
+
+// parseLevel maps the -log-level flag to a slog level (unknown → info).
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
 	}
 }
 
@@ -217,7 +250,7 @@ func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int6
 		}
 		name = syn
 	}
-	log.Printf("%s: %s", name, tbl.Stats())
+	slog.Info("table loaded", "model", name, "stats", tbl.Stats())
 	if modelPath != "" {
 		// Explicit weights file: load it and arm hot reload on it.
 		f, err := os.Open(modelPath)
@@ -229,17 +262,17 @@ func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int6
 		if err != nil {
 			return err
 		}
-		log.Printf("%s: loaded %s (%.2f MB)", name, modelPath, float64(m.SizeBytes())/1e6)
+		slog.Info("model loaded", "model", name, "path", modelPath, "mb", float64(m.SizeBytes())/1e6)
 		return reg.Add(name, tbl, m, duet.AddOpts{Path: modelPath})
 	}
 	m := duet.New(tbl, duet.DefaultConfig())
 	if train > 0 {
-		log.Printf("%s: no -model given; training data-only for %d epochs", name, train)
+		slog.Info("no -model given; training data-only", "model", name, "epochs", train)
 		tc := duet.DefaultTrainConfig()
 		tc.Epochs = train
 		duet.Train(m, tc)
 	} else {
-		log.Printf("%s: no -model given; serving an untrained model", name)
+		slog.Warn("no -model given; serving an untrained model", "model", name)
 	}
 	return reg.Add(name, tbl, m, duet.AddOpts{})
 }

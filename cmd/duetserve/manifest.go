@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -404,12 +404,12 @@ func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool, 
 		if err != nil {
 			return nil, false, fmt.Errorf("load %s: %w", path, err)
 		}
-		log.Printf("%s: loaded %s (%.2f MB)", tbl.Name, path, float64(m.SizeBytes())/1e6)
+		slog.Info("model loaded", "model", tbl.Name, "path", path, "mb", float64(m.SizeBytes())/1e6)
 		return m, true, nil
 	}
 	m := duet.New(tbl, modelConfig(large))
 	if epochs > 0 {
-		log.Printf("%s: no weights at %s; training data-only for %d epochs", tbl.Name, path, epochs)
+		slog.Info("no weights on disk; training data-only", "model", tbl.Name, "path", path, "epochs", epochs)
 		tc := duet.DefaultTrainConfig()
 		tc.Epochs = epochs
 		tc.Lambda = 0
@@ -419,7 +419,7 @@ func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool, 
 		}
 		duet.Train(m, tc)
 	} else {
-		log.Printf("%s: serving an untrained model", tbl.Name)
+		slog.Warn("serving an untrained model", "model", tbl.Name)
 	}
 	if !persist {
 		return m, false, nil
@@ -427,7 +427,7 @@ func ensureModel(tbl *duet.Table, path string, epochs int, large, persist bool, 
 	if err := saveModelFile(m, path); err != nil {
 		return nil, false, err
 	}
-	log.Printf("%s: saved %s", tbl.Name, path)
+	slog.Info("model saved", "model", tbl.Name, "path", path)
 	return m, true, nil
 }
 
@@ -458,7 +458,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if err != nil {
 			return fmt.Errorf("model %q: %w", ms.Name, err)
 		}
-		log.Printf("%s: %s", ms.Name, tbl.Stats())
+		slog.Info("table built", "model", ms.Name, "stats", tbl.Stats())
 		tables[ms.Name] = tbl
 		path := ms.Model
 		if path == "" {
@@ -484,7 +484,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if err != nil {
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
-		log.Printf("%s: %s", js.Name, joined.Stats())
+		slog.Info("join view built", "model", js.Name, "stats", joined.Stats())
 		path := js.Model
 		if path == "" {
 			path = js.Name + ".duet"
@@ -520,11 +520,12 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 // the model directory. Legacy two-table join views are skipped — they have no
 // registered rebuild substrate; join-graph views (sampled or not) retrain
 // from their base tables.
-func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string) (*duet.Lifecycle, error) {
-	lc := duet.NewLifecycle(reg, man.Lifecycle.policy(), duet.LifecycleOptions{
-		Dir:  modelDir,
-		Logf: log.Printf,
-	})
+func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string, suite *duet.ObsSuite) (*duet.Lifecycle, error) {
+	opts := duet.LifecycleOptions{Dir: modelDir, Log: suite.Logger()}
+	if suite != nil {
+		opts.Obs = suite.Metrics
+	}
+	lc := duet.NewLifecycle(reg, man.Lifecycle.policy(), opts)
 	manage := func(name string, large bool, epochs int) error {
 		tc := duet.DefaultTrainConfig()
 		tc.Lambda = 0
@@ -541,7 +542,7 @@ func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string) (*duet.L
 	}
 	for _, js := range man.Joins {
 		if !js.graph() {
-			log.Printf("%s: legacy two-table join views are not lifecycle-managed; skipping", js.Name)
+			slog.Warn("legacy two-table join views are not lifecycle-managed; skipping", "model", js.Name)
 			continue
 		}
 		if err := manage(js.Name, js.Large, epochsOrDefault(js.TrainEpochs)); err != nil {
@@ -584,7 +585,7 @@ func (js JoinViewSpec) materialize(tables map[string]*duet.Table) (*duet.Table, 
 		if err != nil {
 			return nil, duet.AddOpts{}, nil, err
 		}
-		log.Printf("%s: sampled %d of %d FOJ rows (constant-memory materialization)", js.Name, js.Sample, sampler.Total())
+		slog.Info("sampled FOJ rows (constant-memory materialization)", "model", js.Name, "sampled", js.Sample, "total", sampler.Total())
 		return joined, duet.AddOpts{Graph: spec}, sampler, nil
 	}
 	joined, err := duet.BuildJoinGraphView(js.Name, base, edges)

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -20,16 +20,15 @@ import (
 // the manifest's "cluster" block; -replication overrides the factor either
 // way. The proxy owns no models and keeps no state beyond counters, so any
 // number of proxies can front the same fleet without coordination.
-func runProxy(addr, membersFlag, manifestPath string, replication int) error {
+func runProxy(addr, membersFlag, manifestPath string, replication int, suite *duet.ObsSuite) error {
+	// Health flips (member marked down / back in rotation) are logged by the
+	// proxy itself through suite's logger, alongside the mark-down counters.
 	cfg := duet.ClusterConfig{
 		Replication: replication,
-		OnHealthChange: func(member string, healthy bool) {
-			if healthy {
-				log.Printf("cluster: %s back in rotation", member)
-			} else {
-				log.Printf("cluster: %s marked down", member)
-			}
-		},
+		Obs:         suite.Metrics,
+		Tracer:      suite.Tracer,
+		Log:         suite.Logger(),
+		Pprof:       suite.Pprof,
 	}
 	switch {
 	case membersFlag != "":
@@ -73,7 +72,7 @@ func runProxy(addr, membersFlag, manifestPath string, replication int) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("proxying %d replicas on %s: %s", len(cfg.Members), addr, strings.Join(cfg.Members, ", "))
+	slog.Info("proxying", "replicas", len(cfg.Members), "addr", addr, "members", strings.Join(cfg.Members, ", "))
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -81,13 +80,13 @@ func runProxy(addr, membersFlag, manifestPath string, replication int) error {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Println("shutdown signal received; draining")
+		slog.Info("shutdown signal received; draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Println("shutdown:", err)
+			slog.Error("shutdown failed", "error", err)
 		}
-		log.Println("bye")
+		slog.Info("bye")
 	}
 	return nil
 }

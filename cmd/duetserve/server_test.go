@@ -70,7 +70,7 @@ func testServer(t *testing.T) (*duet.Registry, string) {
 
 // testHandler mounts the /v1 API over a registry without lifecycle.
 func testHandler(reg *duet.Registry) http.Handler {
-	return duet.NewAPIServer(reg, nil, "").Handler()
+	return duet.NewAPIServer(reg, nil, "", nil).Handler()
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {

@@ -36,7 +36,7 @@ func main() {
 		if err := reg.Add("census", tbl, duet.New(tbl, cfg), duet.AddOpts{}); err != nil {
 			log.Fatal(err)
 		}
-		srv := httptest.NewServer(duet.NewAPIServer(reg, nil, "").Handler())
+		srv := httptest.NewServer(duet.NewAPIServer(reg, nil, "", nil).Handler())
 		defer srv.Close()
 		urls = append(urls, srv.URL)
 		servers[srv.URL] = srv

@@ -10,7 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"duet/internal/lifecycle"
+	"duet/internal/obs"
 	"duet/internal/registry"
 	"duet/internal/serve"
 )
@@ -44,6 +45,7 @@ type Error struct {
 type errorBody struct {
 	Error     Error  `json:"error"`
 	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
 // Stable error codes.
@@ -116,13 +118,14 @@ func WriteError(w http.ResponseWriter, r *http.Request, status int, err error, d
 	_ = json.NewEncoder(w).Encode(errorBody{
 		Error:     Error{Code: codeFor(status), Message: err.Error(), Details: details},
 		RequestID: r.Header.Get(RequestIDHeader),
+		TraceID:   obs.FromContext(r.Context()).ID(),
 	})
 }
 
 func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Println("write response:", err)
+		slog.Error("write response failed", "error", err)
 	}
 }
 

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"duet/internal/obs"
+)
+
+// untraced reports paths excluded from tracing and never worth a ring slot:
+// scrapes, the trace ring itself, profiling, and health probes would
+// otherwise drown the ring in operational chatter.
+func untraced(path string) bool {
+	return path == "/v1/metrics" || path == "/v1/debug/traces" ||
+		path == "/v1/healthz" || path == "/healthz" ||
+		strings.HasPrefix(path, "/debug/")
+}
+
+// WithTracing opens (or joins, via the X-Duet-Trace request header) a trace
+// for every traceworthy request, carries it through the request context, and
+// reflects the trace id on the response so clients and upstream proxies can
+// correlate. role names the process tier ("proxy", "replica") — it becomes
+// the span covering this hop, which is how one trace id read from several
+// rings stitches back into a single cross-process timeline. A nil tracer
+// passes requests through untouched.
+func WithTracing(tr *obs.Tracer, role string, next http.Handler) http.Handler {
+	if tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if untraced(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, t := tr.Start(r.Context(), r.Header.Get(obs.TraceHeader))
+		// Reflect on the response and refresh the request header, so a proxy
+		// relaying r's headers propagates the id even when it minted it here.
+		w.Header().Set(obs.TraceHeader, t.ID())
+		r.Header.Set(obs.TraceHeader, t.ID())
+		t.SetAttr("request_id", r.Header.Get(RequestIDHeader))
+		sp := t.StartSpan(role)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		next.ServeHTTP(w, r.WithContext(ctx))
+		sp.End()
+		tr.Finish(t)
+	})
+}
+
+// statusWriter captures the response status for the HTTP metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// WithHTTPMetrics counts requests and observes wall time per route. The
+// route label is the mux pattern that matched (a bounded set, unlike raw
+// paths); the code label is the response status. A nil registry passes
+// requests through untouched.
+func WithHTTPMetrics(reg *obs.Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	requests := reg.CounterVec("duet_http_requests_total",
+		"HTTP requests served, by mux route and response status.", "route", "code")
+	seconds := reg.HistogramVec("duet_http_request_seconds",
+		"HTTP request wall time, by mux route.", obs.LatencyBuckets, "route")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = r.URL.Path
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		requests.With(route, strconv.Itoa(sw.status)).Inc()
+		seconds.With(route).ObserveSince(t0)
+	})
+}

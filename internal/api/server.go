@@ -3,12 +3,13 @@ package api
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"duet/internal/lifecycle"
+	"duet/internal/obs"
 	"duet/internal/registry"
 )
 
@@ -20,6 +21,7 @@ type Server struct {
 	reg   *registry.Registry
 	lc    *lifecycle.Supervisor // nil when lifecycle is disabled
 	dir   string                // versioned-artifact directory ("" disables version endpoints)
+	suite *obs.Suite            // nil disables metrics/tracing/pprof routes
 	start time.Time
 
 	legacyMu   sync.Mutex
@@ -28,9 +30,12 @@ type Server struct {
 
 // New builds a server over reg. lc may be nil (lifecycle endpoints then
 // return 404); dir is where versioned model artifacts live — normally the
-// lifecycle directory — and "" disables the version endpoints.
-func New(reg *registry.Registry, lc *lifecycle.Supervisor, dir string) *Server {
-	return &Server{reg: reg, lc: lc, dir: dir, start: time.Now(), legacySeen: make(map[string]bool)}
+// lifecycle directory — and "" disables the version endpoints. suite wires
+// the observability routes (/v1/metrics, /v1/debug/traces, /debug/pprof/*)
+// and the tracing and HTTP-metrics middleware; nil serves the API without
+// them.
+func New(reg *registry.Registry, lc *lifecycle.Supervisor, dir string, suite *obs.Suite) *Server {
+	return &Server{reg: reg, lc: lc, dir: dir, suite: suite, start: time.Now(), legacySeen: make(map[string]bool)}
 }
 
 // Handler routes the full API: /v1/* plus the deprecated unversioned
@@ -62,7 +67,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.legacy("/healthz", s.healthz))
 	mux.HandleFunc("GET /stats", s.legacy("/stats", s.stats))
 
-	return WithRequestID(mux)
+	var handler http.Handler = mux
+	if s.suite != nil {
+		if s.suite.Metrics != nil {
+			mux.Handle("GET /v1/metrics", s.suite.Metrics.Handler())
+		}
+		if s.suite.Tracer != nil {
+			mux.Handle("GET /v1/debug/traces", s.suite.Tracer.Handler())
+		}
+		if s.suite.Pprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		handler = WithTracing(s.suite.Tracer, "replica", WithHTTPMetrics(s.suite.Metrics, handler))
+	}
+	return WithRequestID(handler)
 }
 
 // legacy wraps an unversioned alias: it marks the response deprecated and
@@ -72,7 +94,9 @@ func (s *Server) legacy(route string, next http.HandlerFunc) http.HandlerFunc {
 		s.legacyMu.Lock()
 		if !s.legacySeen[route] {
 			s.legacySeen[route] = true
-			log.Printf("api: deprecated route %s used; switch to /v1%s", route, route)
+			s.suite.Logger().Warn("deprecated route used",
+				"route", route, "successor", "/v1"+route,
+				"request_id", r.Header.Get(RequestIDHeader))
 		}
 		s.legacyMu.Unlock()
 		w.Header().Set("Deprecation", "true")
@@ -113,6 +137,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request) {
 			WriteError(w, r, statusFor(err), err, nil)
 			return
 		}
+		obs.FromContext(r.Context()).SetAttr("model", res.Models[0])
 		WriteJSON(w, estimateResponse{Model: res.Models[0], Card: &res.Cards[0], ElapsedNS: time.Since(t0).Nanoseconds()})
 	case len(req.Queries) > 0 && req.Query == "":
 		res, err := s.reg.Query(r.Context(), registry.QueryRequest{Model: req.Model, Exprs: req.Queries})
@@ -256,7 +281,8 @@ func (s *Server) reload(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, r, statusFor(err), err, nil)
 		return
 	}
-	log.Printf("%s: reloaded on admin request", name)
+	s.suite.Logger().Info("model reloaded on admin request",
+		"model", name, "request_id", r.Header.Get(RequestIDHeader))
 	WriteJSON(w, map[string]string{"status": "reloaded", "model": name})
 }
 

@@ -45,7 +45,7 @@ func newTestServer(t *testing.T, serveCfg *serve.Config, dir string) (http.Handl
 	if err := reg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{Serve: serveCfg}); err != nil {
 		t.Fatal(err)
 	}
-	return New(reg, nil, dir).Handler(), reg
+	return New(reg, nil, dir, nil).Handler(), reg
 }
 
 func do(t *testing.T, h http.Handler, method, path string, body string, hdr map[string]string) *httptest.ResponseRecorder {
@@ -256,7 +256,7 @@ func TestVersionEndpointsAndPull(t *testing.T) {
 	if err := srcReg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	source := httptest.NewServer(New(srcReg, nil, srcDir).Handler())
+	source := httptest.NewServer(New(srcReg, nil, srcDir, nil).Handler())
 	defer source.Close()
 
 	// The version listing sees the artifact.
@@ -285,7 +285,7 @@ func TestVersionEndpointsAndPull(t *testing.T) {
 	if err := peerReg.Add("alpha", tbl, smallModel(tbl, 7), registry.AddOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	peer := New(peerReg, nil, peerDir).Handler()
+	peer := New(peerReg, nil, peerDir, nil).Handler()
 	rec := do(t, peer, "POST", "/v1/models/alpha/pull",
 		`{"source":"`+source.URL+`","version":3}`, nil)
 	if rec.Code != http.StatusOK {

@@ -67,7 +67,7 @@ func Cluster(w io.Writer, s Scale) (*ClusterReport, error) {
 		}); err != nil {
 			return nil, err
 		}
-		srv := httptest.NewServer(api.New(reg, nil, "").Handler())
+		srv := httptest.NewServer(api.New(reg, nil, "", nil).Handler())
 		defer srv.Close()
 		urls = append(urls, srv.URL)
 	}

@@ -41,6 +41,10 @@ func Experiments() []Experiment {
 			_, err := Cluster(w, s)
 			return err
 		}},
+		{"obs", "Obs: metrics instrumentation overhead on the serving hot path", func(w io.Writer, s Scale) error {
+			_, err := ObsOverhead(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

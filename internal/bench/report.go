@@ -61,6 +61,13 @@ type PerfReport struct {
 	ProxyOverheadMS float64 `json:"proxy_overhead_ms"`
 	ClusterReplicas int     `json:"cluster_replicas"`
 
+	// Observability (the Obs experiment): sequential engine throughput with
+	// the metrics instruments wired against the bare engine, and the relative
+	// cost. The overhead percentage is gated absolutely at 5%.
+	ObsBaseQPS     float64 `json:"obs_base_qps"`
+	ObsQPS         float64 `json:"obs_qps"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+
 	ElapsedS float64 `json:"elapsed_s"`
 }
 
@@ -171,6 +178,14 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	rep.FleetQPS = cl.FleetQPS
 	rep.ProxyOverheadMS = cl.ProxyOverheadMS
 	rep.ClusterReplicas = cl.Replicas
+
+	ob, err := ObsOverhead(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.ObsBaseQPS = ob.BaseQPS
+	rep.ObsQPS = ob.ObsQPS
+	rep.ObsOverheadPct = ob.OverheadPct
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

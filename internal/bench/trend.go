@@ -60,5 +60,13 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 			fmt.Sprintf("proxy overhead regressed: %.3f ms -> %.3f ms (baseline allows +%.0f%% above 10 ms)",
 				base.ProxyOverheadMS, r.ProxyOverheadMS, 100*maxDrop))
 	}
+	// The observability gate is absolute, not relative: instrumentation on
+	// the serving hot path must cost under 5% regardless of what the baseline
+	// run measured. Skipped when the baseline predates the metric.
+	if base.ObsBaseQPS > 0 && r.ObsOverheadPct > 5.0 {
+		regressions = append(regressions,
+			fmt.Sprintf("obs overhead too high: %.2f%% of sequential q/s (budget 5%%; %.0f -> %.0f q/s)",
+				r.ObsOverheadPct, r.ObsBaseQPS, r.ObsQPS))
+	}
 	return regressions
 }

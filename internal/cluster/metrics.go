@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"duet/internal/obs"
+)
+
+// proxyMetrics holds the proxy's counters as obs instruments — like the
+// serve engine, the instruments ARE the proxy's operational state: /v1/stats
+// and /v1/metrics read the same atomics. Detached (but live) when no
+// registry is configured.
+type proxyMetrics struct {
+	timed bool // a registry is wired; pay for forward-latency clocks
+
+	forwarded  *obs.Counter      // total, across members
+	failovers  *obs.Counter      // replica fan-out past the primary owner
+	rejected   *obs.Counter      // no reachable owner: request shed with 503
+	fanout     *obs.CounterVec   // forwards per member
+	errors     *obs.CounterVec   // failed forward attempts per member
+	forwardSec *obs.HistogramVec // forward round-trip per member
+	healthFlip *obs.CounterVec   // member, to ("down" | "up")
+	healthy    *obs.GaugeVec     // 1 while the member is in rotation
+}
+
+func newProxyMetrics(o *obs.Registry) proxyMetrics {
+	return proxyMetrics{
+		timed: o != nil,
+		forwarded: o.Counter("duet_proxy_forwarded_total",
+			"Requests forwarded to any replica."),
+		failovers: o.Counter("duet_proxy_failovers_total",
+			"Estimates answered by a non-primary owner after the primary failed."),
+		rejected: o.Counter("duet_proxy_rejected_total",
+			"Requests rejected because no owner replica was reachable."),
+		fanout: o.CounterVec("duet_proxy_member_forwarded_total",
+			"Requests forwarded, by member.", "member"),
+		errors: o.CounterVec("duet_proxy_member_errors_total",
+			"Forward attempts that failed (transport error or upstream 502/503), by member.", "member"),
+		forwardSec: o.HistogramVec("duet_proxy_forward_seconds",
+			"Forward round-trip wall time, by member.", obs.LatencyBuckets, "member"),
+		healthFlip: o.CounterVec("duet_proxy_health_changes_total",
+			"Health-state transitions, by member and direction.", "member", "to"),
+		healthy: o.GaugeVec("duet_proxy_member_healthy",
+			"1 while the member is in rotation, 0 while marked down.", "member"),
+	}
+}

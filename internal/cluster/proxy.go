@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"duet/internal/api"
+	"duet/internal/obs"
 )
 
 // Config assembles a proxy over a replica fleet.
@@ -29,6 +32,16 @@ type Config struct {
 	Timeout time.Duration
 	// OnHealthChange, when non-nil, observes member mark-down/mark-up flips.
 	OnHealthChange func(addr string, healthy bool)
+	// Obs, when non-nil, registers the proxy's counters (fan-out, failover,
+	// mark-down, forward latency) and serves them at /v1/metrics.
+	Obs *obs.Registry
+	// Tracer, when non-nil, traces forwarded requests (joining a client's
+	// X-Duet-Trace or minting one) and serves the ring at /v1/debug/traces.
+	Tracer *obs.Tracer
+	// Log, when non-nil, reports member health flips; nil uses slog.Default.
+	Log *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the proxy.
+	Pprof bool
 }
 
 // Proxy is the thin stateless routing tier: it owns no models, keeps no
@@ -43,9 +56,8 @@ type Proxy struct {
 	client *http.Client
 	start  time.Time
 
-	forwarded atomic.Uint64 // requests relayed to a replica
-	failovers atomic.Uint64 // estimate retries on a later preference replica
-	rejected  atomic.Uint64 // requests refused because no replica was reachable
+	met proxyMetrics // the routing counters; /v1/stats and /v1/metrics read the same instruments
+	log *slog.Logger
 }
 
 // NewProxy validates the config, builds the ring, and starts health probing.
@@ -67,12 +79,41 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	p := &Proxy{
 		cfg:    cfg,
 		ring:   ring,
-		check:  NewChecker(cfg.Members, cfg.Health, cfg.OnHealthChange),
 		client: &http.Client{Timeout: cfg.Timeout},
 		start:  time.Now(),
+		met:    newProxyMetrics(cfg.Obs),
+		log:    cfg.Log,
 	}
+	for _, m := range cfg.Members {
+		p.met.healthy.With(m).Set(1) // probing starts optimistic: everyone in rotation
+	}
+	p.check = NewChecker(cfg.Members, cfg.Health, p.onHealthChange)
 	p.check.Start()
 	return p, nil
+}
+
+// onHealthChange records every member flip — counter, gauge, structured log —
+// then relays to the configured callback.
+func (p *Proxy) onHealthChange(addr string, healthy bool) {
+	if healthy {
+		p.met.healthFlip.With(addr, "up").Inc()
+		p.met.healthy.With(addr).Set(1)
+		p.logger().Info("member back in rotation", "member", addr)
+	} else {
+		p.met.healthFlip.With(addr, "down").Inc()
+		p.met.healthy.With(addr).Set(0)
+		p.logger().Warn("member marked down", "member", addr)
+	}
+	if p.cfg.OnHealthChange != nil {
+		p.cfg.OnHealthChange(addr, healthy)
+	}
+}
+
+func (p *Proxy) logger() *slog.Logger {
+	if p.log != nil {
+		return p.log
+	}
+	return slog.Default()
 }
 
 // Close stops the health prober.
@@ -104,7 +145,20 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", p.stats)
 	mux.HandleFunc("GET /stats", p.stats)
 	mux.HandleFunc("GET /v1/cluster", p.cluster)
-	return api.WithRequestID(mux)
+	if p.cfg.Obs != nil {
+		mux.Handle("GET /v1/metrics", p.cfg.Obs.Handler())
+	}
+	if p.cfg.Tracer != nil {
+		mux.Handle("GET /v1/debug/traces", p.cfg.Tracer.Handler())
+	}
+	if p.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return api.WithRequestID(api.WithTracing(p.cfg.Tracer, "proxy", api.WithHTTPMetrics(p.cfg.Obs, mux)))
 }
 
 // routeBody is the slice of an estimate/ingest/feedback body the proxy needs
@@ -155,16 +209,23 @@ func (p *Proxy) estimate(w http.ResponseWriter, r *http.Request) {
 	}
 	owners := p.Owners(key)
 	tried := 0
+	last := ""
 	for _, addr := range p.inRotation(owners) {
 		if tried > 0 {
-			p.failovers.Add(1)
+			p.met.failovers.Inc()
 		}
 		tried++
+		last = addr
 		if p.forward(w, r, addr, "/v1/estimate", body) {
 			return
 		}
 	}
-	p.rejected.Add(1)
+	p.met.rejected.Inc()
+	if last != "" {
+		// Attribute the shed to the last replica tried, so a 503 in a client
+		// log points at a concrete member instead of an anonymous fleet.
+		w.Header().Set(ReplicaHeader, last)
+	}
 	api.WriteError(w, r, http.StatusServiceUnavailable,
 		fmt.Errorf("no replica for key %q is reachable (owners %v)", key, owners),
 		map[string]any{"owners": owners, "tried": tried})
@@ -192,14 +253,15 @@ func (p *Proxy) primaryOnly(path string) http.HandlerFunc {
 		owners := p.Owners(rb.Model)
 		rotation := p.inRotation(owners)
 		if len(rotation) == 0 {
-			p.rejected.Add(1)
+			p.met.rejected.Inc()
 			api.WriteError(w, r, http.StatusServiceUnavailable,
 				fmt.Errorf("no replica for model %q is reachable", rb.Model),
 				map[string]any{"owners": owners})
 			return
 		}
 		if !p.forward(w, r, rotation[0], path, body) {
-			p.rejected.Add(1)
+			p.met.rejected.Inc()
+			w.Header().Set(ReplicaHeader, rotation[0])
 			api.WriteError(w, r, http.StatusBadGateway,
 				fmt.Errorf("primary owner %s did not answer", rotation[0]), nil)
 		}
@@ -223,9 +285,16 @@ func (p *Proxy) inRotation(owners []string) []string {
 	return healthy
 }
 
+// ReplicaHeader names the replica that answered a forwarded request — or,
+// on a proxy-origin 502/503, the last member the proxy tried — so every
+// response (including sheds) is attributable to a concrete member.
+const ReplicaHeader = "X-Duet-Replica"
+
 // forward relays one request to a replica. It reports true when a response
 // was written (success or a relayable error) and false when the replica is
-// unreachable or draining (502/503), i.e. the caller may fail over.
+// unreachable or draining (502/503), i.e. the caller may fail over. The
+// trace id rides the X-Duet-Trace header so the replica's spans join the
+// same trace, and each attempt is a "forward" span in the proxy's ring.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, addr, path string, body []byte) bool {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, addr+path, bytes.NewReader(body))
 	if err != nil {
@@ -233,22 +302,45 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, addr, path strin
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(api.RequestIDHeader, r.Header.Get(api.RequestIDHeader))
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	tr := obs.FromContext(r.Context())
+	timed := p.met.timed || tr != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	resp, err := p.client.Do(req)
+	if timed {
+		d := time.Since(t0)
+		if p.met.timed {
+			p.met.forwardSec.With(addr).Observe(d.Seconds())
+		}
+		status := "unreachable"
+		if err == nil {
+			status = strconv.Itoa(resp.StatusCode)
+		}
+		tr.AddSpan("forward", t0, d, "member", addr, "status", status)
+	}
 	if err != nil {
+		p.met.errors.With(addr).Inc()
 		return false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		p.met.errors.With(addr).Inc()
 		io.Copy(io.Discard, resp.Body)
 		return false
 	}
-	p.forwarded.Add(1)
+	p.met.forwarded.Inc()
+	p.met.fanout.With(addr).Inc()
 	for _, h := range []string{"Content-Type", "Retry-After", "Deprecation", "Link"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
-	w.Header().Set("X-Duet-Replica", addr)
+	w.Header().Set(ReplicaHeader, addr)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	return true
@@ -408,9 +500,9 @@ func (p *Proxy) stats(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	api.WriteJSON(w, map[string]any{
 		"proxy": map[string]any{
-			"forwarded": p.forwarded.Load(),
-			"failovers": p.failovers.Load(),
-			"rejected":  p.rejected.Load(),
+			"forwarded": p.met.forwarded.Value(),
+			"failovers": p.met.failovers.Value(),
+			"rejected":  p.met.rejected.Value(),
 		},
 		"members": members,
 	})

@@ -23,11 +23,13 @@ package lifecycle
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"duet/internal/core"
+	"duet/internal/obs"
 	"duet/internal/registry"
 	"duet/internal/relation"
 )
@@ -109,8 +111,16 @@ type Options struct {
 	// failed ones — after its swap completed. Called from the retraining
 	// goroutine.
 	OnRetrain func(stats RetrainStats)
-	// Logf, when non-nil, receives progress lines (log.Printf-compatible).
+	// Log, when non-nil, receives structured progress records (retrain
+	// outcomes with model/version/kind keys). It takes precedence over Logf.
+	Log *slog.Logger
+	// Logf, when non-nil, receives plain progress lines
+	// (log.Printf-compatible). Kept for callers that want unstructured
+	// output, like the examples.
 	Logf func(format string, args ...any)
+	// Obs, when set, exports the supervisor's counters and drift-signal
+	// gauges through the shared metrics registry.
+	Obs *obs.Registry
 }
 
 // ManageOpts configures one managed model.
@@ -221,6 +231,8 @@ type Supervisor struct {
 	models map[string]*managed
 	closed bool
 
+	met lcMetrics
+
 	sem  chan struct{} // bounds concurrent retrains
 	poke chan struct{} // nudges the worker when a policy trips
 	stop chan struct{}
@@ -238,8 +250,10 @@ func NewSupervisor(reg *registry.Registry, pol Policy, opt Options) *Supervisor 
 		poke:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		met:    newLCMetrics(opt.Obs),
 	}
 	s.sem = make(chan struct{}, s.pol.MaxConcurrent)
+	s.registerScrapeHook(opt.Obs)
 	go s.run()
 	return s
 }

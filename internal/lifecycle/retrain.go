@@ -136,12 +136,16 @@ func (s *Supervisor) retrain(mg *managed) {
 		mg.fb.reset()
 	}
 	s.mu.Unlock()
+	outcome := "ok"
 	if err != nil {
-		s.logf("lifecycle: %s retrain v%d failed: %v", mg.name, version, err)
-	} else {
-		s.logf("lifecycle: %s v%d installed (%s, %d rows, %d feedback, train %s, swap %s)",
-			mg.name, version, kind, st.Rows, st.Feedback, st.TrainDuration.Round(time.Millisecond), st.SwapLatency.Round(time.Microsecond))
+		outcome = "error"
 	}
+	s.met.retrains.With(mg.name, string(kind), outcome).Inc()
+	s.met.trainSec.With(mg.name).Observe(st.TrainDuration.Seconds())
+	if err == nil {
+		s.met.swapSec.With(mg.name).Observe(st.SwapLatency.Seconds())
+	}
+	s.logRetrain(st)
 	if s.opt.OnRetrain != nil {
 		s.opt.OnRetrain(st)
 	}

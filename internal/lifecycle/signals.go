@@ -80,6 +80,7 @@ func (s *Supervisor) Ingest(name string, rows [][]string) (IngestResult, error) 
 			mg.pend[ci][code] += n
 		}
 	}
+	s.met.ingested.With(name).Add(uint64(len(rows)))
 	res := IngestResult{
 		Model:          name,
 		Appended:       len(rows),
@@ -175,6 +176,7 @@ func (s *Supervisor) Feedback(name, expr string, card int64) (FeedbackResult, er
 		}, nil
 	}
 	mg.fb.add(fbRec{expr: expr, card: card, qerr: qerr})
+	s.met.feedback.With(name).Inc()
 	res := FeedbackResult{
 		Model:      name,
 		Estimate:   est,

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every registered family in Prometheus text exposition
+// format 0.0.4: families sorted by name, children sorted by label values,
+// histogram buckets cumulated with the mandatory +Inf bucket, _sum and
+// _count series. Scrape hooks run first so callback-backed gauges are fresh.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, hook := range r.snapshotHooks() {
+		hook()
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// writeText emits one family: HELP, TYPE, then every child series.
+func (f *family) writeText(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	f.mu.RLock()
+	fn := f.fn
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.RUnlock()
+
+	if fn != nil {
+		writeSample(w, f.name, "", fn())
+		return
+	}
+	for i, c := range children {
+		values := splitLabelKey(keys[i], len(f.labels))
+		switch inst := c.(type) {
+		case *Counter:
+			writeSample(w, f.name, labelPairs(f.labels, values, "", ""), float64(inst.Value()))
+		case *Gauge:
+			writeSample(w, f.name, labelPairs(f.labels, values, "", ""), inst.Value())
+		case *Histogram:
+			var cum uint64
+			for bi, upper := range inst.uppers {
+				cum += inst.counts[bi].Load()
+				writeSample(w, f.name+"_bucket",
+					labelPairs(f.labels, values, "le", formatFloat(upper)), float64(cum))
+			}
+			cum += inst.counts[len(inst.uppers)].Load()
+			writeSample(w, f.name+"_bucket", labelPairs(f.labels, values, "le", "+Inf"), float64(cum))
+			writeSample(w, f.name+"_sum", labelPairs(f.labels, values, "", ""), inst.Sum())
+			writeSample(w, f.name+"_count", labelPairs(f.labels, values, "", ""), float64(cum))
+		}
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// labelPairs renders `{k1="v1",k2="v2"}` (empty string when there are no
+// labels), optionally appending one extra pair (the histogram `le` bound).
+func labelPairs(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func splitLabelKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\x1f", n)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,389 @@
+// Package obs is the serving stack's dependency-free observability layer:
+// a concurrency-safe metrics registry with Prometheus text exposition
+// (counters, gauges, fixed-bucket histograms), request-scoped tracing with a
+// bounded in-memory ring of recent traces, and slog-based structured-logging
+// conventions shared by every serving-path package.
+//
+// The design goal is that the instruments ARE the stack's counters, not a
+// copy of them: internal/serve, internal/registry, internal/lifecycle, and
+// internal/cluster keep their operational state in obs counters and gauges,
+// so a JSON snapshot (/v1/stats) and a Prometheus scrape (/v1/metrics) read
+// the same atomics and can never disagree.
+//
+// Everything is nil-tolerant. Instrument constructors on a nil *Registry
+// return detached-but-functional instruments (they count, they just aren't
+// exported anywhere), and instrument methods on nil receivers are no-ops, so
+// instrumented code never branches on whether observability is wired up.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricKind discriminates a family's exposition TYPE.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is usable.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d (negative d decrements).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v when v exceeds the current value — a
+// high-water mark (e.g. the largest batch an engine has flushed).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v || g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Observations and the
+// running sum use atomics only, so concurrent Observe calls never block each
+// other (exposition cumulates the buckets at scrape time, as the Prometheus
+// text format requires).
+type Histogram struct {
+	uppers []float64       // ascending bucket upper bounds
+	counts []atomic.Uint64 // len(uppers)+1; the last bucket is +Inf
+	sum    atomic.Uint64   // math.Float64bits of the observation sum
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Serving latencies cluster in the lowest buckets, so a forward linear
+	// scan beats binary search on the typical observation.
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LatencyBuckets is the default histogram layout for per-stage serving
+// latencies in seconds: 10µs to 2.5s, roughly logarithmic. Engine stages sit
+// in the µs-to-ms range; HTTP round trips and retrains use the upper decades.
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5,
+}
+
+// DurationBuckets is the histogram layout for long operations in seconds
+// (retrains, rollouts): 10ms to ~5min.
+var DurationBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// SizeBuckets is the histogram layout for batch sizes: powers of two through
+// the engine's typical MaxBatch ceiling.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// family is one named metric with all its labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string  // label names; empty for scalar metrics
+	buckets []float64 // histogram bucket uppers
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *Counter | *Gauge | *Histogram
+	fn       func() float64 // gauge callback (GaugeFunc); children unused then
+}
+
+// labelKey joins label values into a child-map key. 0x1f (unit separator)
+// cannot collide with reasonable label values like model names and URLs.
+func labelKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, v := range values {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// child returns the instrument for one label-value combination, creating it
+// on first use.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	switch f.kind {
+	case kindCounter:
+		c = &Counter{}
+	case kindGauge:
+		c = &Gauge{}
+	default:
+		c = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label-value combination.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label-value combination.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label-value combination.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry is a concurrency-safe collection of metric families. Create with
+// NewRegistry; expose with Handler or WriteText. Registration is idempotent:
+// asking for an existing name returns the existing family (the kind and
+// label names must match), so an engine recreated across a hot swap keeps
+// counting into the same series.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	hooks    map[string]func() // scrape hooks, keyed so re-registration replaces
+	hookSeq  int
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family), hooks: make(map[string]func())}
+}
+
+// register finds or creates a family. A nil receiver returns a detached
+// family: the instrument works, it is just not exported by any scrape.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if r == nil {
+		return &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets,
+			children: make(map[string]any)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v%v, was %v%v", name, kind, labels, f.kind, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets,
+		children: make(map[string]any)}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or finds) a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers (or finds) a counter family partitioned by labels.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers (or finds) a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers (or finds) a gauge family partitioned by labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or finds) a label-less histogram over the given
+// ascending bucket upper bounds (a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, buckets).child(nil).(*Histogram)
+}
+
+// HistogramVec registers (or finds) a histogram family partitioned by labels.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// OnScrape registers a hook run before every exposition, keyed for
+// replacement: registering the same key again drops the previous hook. Use
+// hooks to refresh gauges whose source of truth lives elsewhere (cache
+// occupancy, drift signals, runtime stats) without polling them continuously.
+func (r *Registry) OnScrape(key string, fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks[key] = fn
+	r.mu.Unlock()
+}
+
+// snapshotHooks returns the current hook set.
+func (r *Registry) snapshotHooks() []func() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]func(), 0, len(r.hooks))
+	keys := make([]string, 0, len(r.hooks))
+	for k := range r.hooks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, r.hooks[k])
+	}
+	return out
+}

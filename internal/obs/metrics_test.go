@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("t_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetMax(1.0)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("SetMax lowered gauge to %v", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %v, want 9", got)
+	}
+
+	h := r.Histogram("t_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("hist count = %d, want 3", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.55) > 1e-9 {
+		t.Fatalf("hist sum = %v, want 5.55", got)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "other help ignored")
+	if a != b {
+		t.Fatal("same name should return the same counter")
+	}
+	v1 := r.CounterVec("dupv_total", "h", "model")
+	v2 := r.CounterVec("dupv_total", "h", "model")
+	if v1.With("m") != v2.With("m") {
+		t.Fatal("same name+labels should share children")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("dup_total", "now a gauge")
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("duet_a_total", "A counter.").Add(3)
+	r.GaugeVec("duet_b", "A gauge with\nnewline help.", "model").With(`m"x\y`).Set(1.25)
+	h := r.HistogramVec("duet_c_seconds", "A histogram.", []float64{0.1, 1}, "stage")
+	h.With("exec").Observe(0.05)
+	h.With("exec").Observe(0.5)
+	h.With("exec").Observe(3)
+	r.GaugeFunc("duet_d", "Callback gauge.", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP duet_a_total A counter.
+# TYPE duet_a_total counter
+duet_a_total 3
+# HELP duet_b A gauge with\nnewline help.
+# TYPE duet_b gauge
+duet_b{model="m\"x\\y"} 1.25
+# HELP duet_c_seconds A histogram.
+# TYPE duet_c_seconds histogram
+duet_c_seconds_bucket{stage="exec",le="0.1"} 1
+duet_c_seconds_bucket{stage="exec",le="1"} 2
+duet_c_seconds_bucket{stage="exec",le="+Inf"} 3
+duet_c_seconds_sum{stage="exec"} 3.55
+duet_c_seconds_count{stage="exec"} 3
+# HELP duet_d Callback gauge.
+# TYPE duet_d gauge
+duet_d 42
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses walks the output with a minimal parser to assert the
+// structural invariants Prometheus requires: every sample belongs to a
+// TYPE-declared family, label blocks are balanced, values parse as floats,
+// and histogram buckets are cumulative and end at +Inf.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p_total", "c").Add(7)
+	r.Gauge("p_gauge", "g").Set(-1.5)
+	hv := r.HistogramVec("p_seconds", "h", LatencyBuckets, "model", "stage")
+	for i := 0; i < 100; i++ {
+		hv.With("census", "exec").Observe(float64(i) / 1000)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{}
+	lastBucket := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			declared[parts[2]] = parts[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample without value: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced label block: %q", line)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suffix); ok && declared[cut] == "histogram" {
+				base = cut
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", line)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			v, _ := strconv.ParseFloat(valStr, 64)
+			key := series[:strings.Index(series, `le="`)]
+			if v < lastBucket[key] {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastBucket[key] = v
+		}
+	}
+	if len(declared) != 3 {
+		t.Fatalf("declared %d families, want 3", len(declared))
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cv := r.CounterVec("conc_total", "h", "worker")
+			hv := r.HistogramVec("conc_seconds", "h", []float64{0.001, 0.01, 0.1}, "worker")
+			gauge := r.Gauge("conc_gauge", "h")
+			for i := 0; i < 1000; i++ {
+				cv.With(fmt.Sprint(g % 3)).Inc()
+				hv.With(fmt.Sprint(g % 3)).Observe(float64(i) / 10000)
+				gauge.Add(1)
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WriteText(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for w := 0; w < 3; w++ {
+		total += r.CounterVec("conc_total", "h", "worker").With(fmt.Sprint(w)).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("counter total = %d, want 8000", total)
+	}
+	if g := r.Gauge("conc_gauge", "h").Value(); g != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("nil_total", "h")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("detached counter should still count")
+	}
+	r.GaugeVec("nil_gauge", "h", "l").With("x").Set(3)
+	r.Histogram("nil_seconds", "h", LatencyBuckets).Observe(0.1)
+	r.GaugeFunc("nil_fn", "h", func() float64 { return 0 })
+	r.OnScrape("k", func() {})
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var nilC *Counter
+	nilC.Inc()
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	nilG.SetMax(1)
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveSince(time.Now())
+	if nilC.Value() != 0 || nilG.Value() != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil instruments should read zero")
+	}
+}
+
+func TestOnScrapeReplacement(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hooked", "h")
+	r.OnScrape("owner", func() { g.Set(1) })
+	r.OnScrape("owner", func() { g.Set(2) })
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if g.Value() != 2 {
+		t.Fatalf("replaced hook should win, gauge = %v", g.Value())
+	}
+}

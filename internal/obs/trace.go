@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the trace id across HTTP hops: the proxy mints (or
+// adopts) an id, sends it to the replica, and the replica's spans join the
+// same trace. Responses echo it so callers can look the trace up later.
+const TraceHeader = "X-Duet-Trace"
+
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a process-unique trace id, same shape as request ids
+// (hex nanotime, hex sequence).
+func NewTraceID() string {
+	return fmt.Sprintf("%x-%x", time.Now().UnixNano(), traceSeq.Add(1))
+}
+
+// Span is one timed stage inside a trace. Created by Trace.StartSpan and
+// closed by End; nil-safe throughout.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	attrs []string // alternating key, value
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, key, value)
+}
+
+// End closes the span, recording its duration into the owning trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.addSpan(s.name, s.start, time.Since(s.start), s.attrs)
+}
+
+// Trace accumulates spans for one request. Spans may be added from multiple
+// goroutines (the engine's dispatcher closes batch spans on behalf of
+// waiting callers), so the span list is mutex-guarded.
+type Trace struct {
+	id    string
+	start time.Time
+	tr    *Tracer
+
+	mu    sync.Mutex
+	spans []SpanSnapshot
+	attrs []string
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named span; close it with End.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: time.Now()}
+}
+
+// AddSpan records an already-measured span (used when the stage was timed
+// anyway, e.g. the dispatcher's per-flush clock).
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs ...string) {
+	if t == nil {
+		return
+	}
+	t.addSpan(name, start, d, attrs)
+}
+
+// SetAttr attaches a key/value annotation to the trace itself.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, key, value)
+	t.mu.Unlock()
+}
+
+func (t *Trace) addSpan(name string, start time.Time, d time.Duration, attrs []string) {
+	snap := SpanSnapshot{
+		Name:       name,
+		OffsetUS:   start.Sub(t.start).Microseconds(),
+		DurationUS: d.Microseconds(),
+	}
+	if len(attrs) > 1 {
+		snap.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			snap.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, snap)
+	t.mu.Unlock()
+}
+
+// SpanSnapshot is the immutable record of one finished span.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	OffsetUS   int64             `json:"offset_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the immutable record of one finished trace, as served by
+// /v1/debug/traces.
+type TraceSnapshot struct {
+	TraceID    string            `json:"trace_id"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanSnapshot    `json:"spans"`
+}
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// RingSize bounds the in-memory trace ring (default 256).
+	RingSize int
+	// SlowThreshold, when positive, logs any trace at least this long
+	// through Log at Warn level with a compact span summary.
+	SlowThreshold time.Duration
+	// Log receives slow-trace reports; slog.Default() when nil.
+	Log *slog.Logger
+}
+
+// Tracer owns the bounded ring of recent traces. A nil Tracer disables
+// tracing: Start returns the context unchanged and a nil Trace.
+type Tracer struct {
+	cfg TracerConfig
+
+	mu   sync.Mutex
+	ring []TraceSnapshot // fixed capacity, write cursor wraps
+	next int
+	n    int
+}
+
+// NewTracer creates a tracer with a bounded trace ring.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	return &Tracer{cfg: cfg, ring: make([]TraceSnapshot, cfg.RingSize)}
+}
+
+type traceCtxKey struct{}
+
+// Start opens a trace under the given id (minting one when empty) and
+// returns a context carrying it. On a nil tracer the context passes through
+// untouched and the returned trace is nil — every downstream call is a no-op.
+func (tr *Tracer) Start(ctx context.Context, id string) (context.Context, *Trace) {
+	if tr == nil {
+		return ctx, nil
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Trace{id: id, start: time.Now(), tr: tr}
+	return context.WithValue(ctx, traceCtxKey{}, t), t
+}
+
+// FromContext returns the active trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// Finish seals the trace, pushes the snapshot into the ring, and reports it
+// through the structured log if it crossed the slow threshold.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	d := time.Since(t.start)
+	t.mu.Lock()
+	snap := TraceSnapshot{
+		TraceID:    t.id,
+		Start:      t.start,
+		DurationUS: d.Microseconds(),
+		Spans:      append([]SpanSnapshot(nil), t.spans...),
+	}
+	if len(t.attrs) > 1 {
+		snap.Attrs = make(map[string]string, len(t.attrs)/2)
+		for i := 0; i+1 < len(t.attrs); i += 2 {
+			snap.Attrs[t.attrs[i]] = t.attrs[i+1]
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(snap.Spans, func(i, j int) bool { return snap.Spans[i].OffsetUS < snap.Spans[j].OffsetUS })
+
+	tr.mu.Lock()
+	tr.ring[tr.next] = snap
+	tr.next = (tr.next + 1) % len(tr.ring)
+	if tr.n < len(tr.ring) {
+		tr.n++
+	}
+	tr.mu.Unlock()
+
+	if tr.cfg.SlowThreshold > 0 && d >= tr.cfg.SlowThreshold {
+		logger := tr.cfg.Log
+		if logger == nil {
+			logger = slog.Default()
+		}
+		var stages strings.Builder
+		for i, sp := range snap.Spans {
+			if i > 0 {
+				stages.WriteByte(' ')
+			}
+			fmt.Fprintf(&stages, "%s=%dus", sp.Name, sp.DurationUS)
+		}
+		attrs := []any{
+			slog.String("trace_id", snap.TraceID),
+			slog.Int64("duration_us", snap.DurationUS),
+			slog.String("stages", stages.String()),
+		}
+		for k, v := range snap.Attrs {
+			attrs = append(attrs, slog.String(k, v))
+		}
+		logger.Warn("slow query", attrs...)
+	}
+}
+
+// Recent returns the ring's traces, newest first.
+func (tr *Tracer) Recent() []TraceSnapshot {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceSnapshot, 0, tr.n)
+	for i := 0; i < tr.n; i++ {
+		idx := (tr.next - 1 - i + len(tr.ring)) % len(tr.ring)
+		out = append(out, tr.ring[idx])
+	}
+	return out
+}
+
+// Handler serves the recent-trace ring as JSON at /v1/debug/traces.
+func (tr *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Traces []TraceSnapshot `json:"traces"`
+		}{Traces: tr.Recent()})
+	})
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 4})
+	ctx, trace := tr.Start(context.Background(), "")
+	if trace.ID() == "" {
+		t.Fatal("minted trace id is empty")
+	}
+	if FromContext(ctx) != trace {
+		t.Fatal("FromContext should return the started trace")
+	}
+	sp := trace.StartSpan("cache_lookup")
+	sp.SetAttr("hit", "false")
+	sp.End()
+	trace.AddSpan("plan_exec", time.Now().Add(-time.Millisecond), time.Millisecond, "batch", "4")
+	trace.SetAttr("model", "census")
+	tr.Finish(trace)
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("ring has %d traces, want 1", len(recent))
+	}
+	snap := recent[0]
+	if snap.TraceID != trace.ID() {
+		t.Fatalf("trace id %q != %q", snap.TraceID, trace.ID())
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(snap.Spans))
+	}
+	names := map[string]bool{}
+	for _, s := range snap.Spans {
+		names[s.Name] = true
+	}
+	if !names["cache_lookup"] || !names["plan_exec"] {
+		t.Fatalf("span names = %v", names)
+	}
+	if snap.Attrs["model"] != "census" {
+		t.Fatalf("trace attrs = %v", snap.Attrs)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 3})
+	for i := 0; i < 10; i++ {
+		_, trace := tr.Start(context.Background(), fmt.Sprintf("id-%d", i))
+		tr.Finish(trace)
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(recent))
+	}
+	// Newest first.
+	for i, want := range []string{"id-9", "id-8", "id-7"} {
+		if recent[i].TraceID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, recent[i].TraceID, want)
+		}
+	}
+}
+
+func TestSlowTraceLogged(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(TracerConfig{RingSize: 4, SlowThreshold: time.Microsecond, Log: logger})
+	_, trace := tr.Start(context.Background(), "slow-1")
+	trace.SetAttr("model", "census")
+	sp := trace.StartSpan("plan_exec")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Finish(trace)
+
+	out := buf.String()
+	for _, want := range []string{"slow query", "trace_id=slow-1", "plan_exec=", "model=census"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow log missing %q in %q", want, out)
+		}
+	}
+
+	buf.Reset()
+	fast := NewTracer(TracerConfig{RingSize: 4, SlowThreshold: time.Hour, Log: logger})
+	_, trace = fast.Start(context.Background(), "fast-1")
+	fast.Finish(trace)
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace should not log, got %q", buf.String())
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.Start(context.Background(), "x")
+	if trace != nil {
+		t.Fatal("nil tracer should return nil trace")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil tracer should not stash a trace in the context")
+	}
+	sp := trace.StartSpan("a")
+	sp.SetAttr("k", "v")
+	sp.End()
+	trace.AddSpan("b", time.Now(), 0)
+	trace.SetAttr("k", "v")
+	if trace.ID() != "" {
+		t.Fatal("nil trace id should be empty")
+	}
+	tr.Finish(trace)
+	if tr.Recent() != nil {
+		t.Fatal("nil tracer Recent should be nil")
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, trace := tr.Start(context.Background(), "")
+				sp := trace.StartSpan("stage")
+				sp.End()
+				tr.Finish(trace)
+				tr.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Recent()) != 16 {
+		t.Fatalf("ring size = %d, want 16", len(tr.Recent()))
+	}
+}

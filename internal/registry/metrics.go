@@ -1,0 +1,40 @@
+package registry
+
+import (
+	"duet/internal/obs"
+)
+
+// registryMetrics holds the registry's counters as obs instruments, and the
+// per-model families entries draw their children from. As in the serve
+// engine, these ARE the counters — Stats() and ModelInfo read the same
+// atomics the Prometheus exposition serves. With no obs registry configured
+// every instrument is detached and the estimate-latency clock stays off.
+type registryMetrics struct {
+	timed      bool
+	routed     *obs.Counter
+	joinRouted *obs.Counter
+
+	estSec  *obs.HistogramVec
+	reloads *obs.CounterVec
+	swaps   *obs.CounterVec
+	version *obs.GaugeVec
+}
+
+func newRegistryMetrics(o *obs.Registry) registryMetrics {
+	return registryMetrics{
+		timed: o != nil,
+		routed: o.Counter("duet_registry_routed_total",
+			"Expression queries resolved by the join-aware router."),
+		joinRouted: o.Counter("duet_registry_join_routed_total",
+			"Router resolutions that landed on a join view."),
+		estSec: o.HistogramVec("duet_registry_estimate_seconds",
+			"End-to-end estimate latency through the registry, per model.",
+			obs.LatencyBuckets, "model"),
+		reloads: o.CounterVec("duet_registry_reloads_total",
+			"Completed hot reloads from the model file.", "model"),
+		swaps: o.CounterVec("duet_registry_swaps_total",
+			"Completed in-memory model swaps (lifecycle installs).", "model"),
+		version: o.GaugeVec("duet_registry_model_version",
+			"Lifecycle artifact version currently served (0 until a versioned swap).", "model"),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"duet/internal/obs"
 	"duet/internal/workload"
 )
 
@@ -46,12 +47,17 @@ type QueryResult struct {
 // HTTP server, the cluster proxy's replicas, and the bench harness share;
 // every other estimate method wraps it.
 func (r *Registry) Query(ctx context.Context, req QueryRequest) (QueryResult, error) {
+	tr := obs.FromContext(ctx)
 	switch {
 	case req.Expr != "" && req.Exprs == nil && req.Queries == nil:
+		sp := tr.StartSpan("route")
 		res, err := r.Resolve(req.Model, req.Expr)
 		if err != nil {
+			sp.End()
 			return QueryResult{}, err
 		}
+		sp.SetAttr("model", res.Model)
+		sp.End()
 		cards, err := r.estimateResolutions(ctx, []Resolution{res})
 		if err != nil {
 			return QueryResult{}, err
@@ -61,13 +67,16 @@ func (r *Registry) Query(ctx context.Context, req QueryRequest) (QueryResult, er
 	case req.Exprs != nil && req.Expr == "" && req.Queries == nil:
 		models := make([]string, len(req.Exprs))
 		resolutions := make([]Resolution, len(req.Exprs))
+		sp := tr.StartSpan("route")
 		for i, expr := range req.Exprs {
 			res, err := r.Resolve(req.Model, expr)
 			if err != nil {
+				sp.End()
 				return QueryResult{}, fmt.Errorf("queries[%d]: %w", i, err)
 			}
 			models[i], resolutions[i] = res.Model, res
 		}
+		sp.End()
 		cards, err := r.estimateResolutions(ctx, resolutions)
 		if err != nil {
 			return QueryResult{}, err

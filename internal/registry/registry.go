@@ -23,10 +23,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"duet/internal/core"
+	"duet/internal/obs"
 	"duet/internal/relation"
 	"duet/internal/serve"
 	"duet/internal/workload"
@@ -57,6 +57,10 @@ type Config struct {
 	// lifecycle subsystem's in-memory install path) with the error it
 	// produced. Called from the swapping goroutine; keep it fast.
 	OnSwap func(name string, err error)
+	// Obs, when set, exports the registry's counters (router, per-model
+	// reload/swap/version, estimate latency) through the shared metrics
+	// registry and passes it down to every model's serving engine.
+	Obs *obs.Registry
 }
 
 // JoinSpec names the equi-join a view was materialized from:
@@ -102,9 +106,14 @@ type entry struct {
 	modSize int64
 
 	reloadMu sync.Mutex // serializes reloads and swaps of this entry
-	reloads  atomic.Uint64
-	swaps    atomic.Uint64
-	version  atomic.Int64 // lifecycle artifact version; 0 until a versioned swap
+
+	// Obs-backed lifecycle counters. The instruments survive engine swaps
+	// (the entry outlives every handle generation), so the exported series
+	// are continuous across reloads and installs.
+	reloads *obs.Counter
+	swaps   *obs.Counter
+	version *obs.Gauge // lifecycle artifact version; 0 until a versioned swap
+	estSec  *obs.Histogram
 }
 
 // ModelInfo is a snapshot of one registered model for listings and stats.
@@ -134,8 +143,7 @@ type Registry struct {
 	graphs  map[string]string              // canonical edge-set key -> graph view name
 	closed  bool
 
-	routed     atomic.Uint64 // queries routed by expression
-	joinRouted atomic.Uint64 // of which resolved through a join view
+	met registryMetrics // router counters + per-model metric families
 
 	watchStop chan struct{}
 	watchDone chan struct{}
@@ -152,7 +160,10 @@ func New(cfg Config) *Registry {
 		entries: make(map[string]*entry),
 		joins:   make(map[workload.JoinClause]string),
 		graphs:  make(map[string]string),
+		met:     newRegistryMetrics(cfg.Obs),
 	}
+	cfg.Obs.GaugeFunc("duet_registry_models", "Registered models.",
+		func() float64 { return float64(r.Len()) })
 	if cfg.WatchInterval > 0 {
 		r.watchStop = make(chan struct{})
 		r.watchDone = make(chan struct{})
@@ -234,6 +245,10 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 	if opts.Serve != nil {
 		serveCfg = *opts.Serve
 	}
+	// The engine exports through the registry's metrics registry regardless
+	// of any per-model serve override; the model name is the series label.
+	serveCfg.Obs = r.cfg.Obs
+	serveCfg.ObsModel = name
 	e := &entry{
 		name:     name,
 		table:    t,
@@ -244,6 +259,10 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 		modTime:  modTime,
 		modSize:  modSize,
 		h:        &handle{model: m, est: serve.New(m, serveCfg)},
+		reloads:  r.met.reloads.With(name),
+		swaps:    r.met.swaps.With(name),
+		version:  r.met.version.With(name),
+		estSec:   r.met.estSec.With(name),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -390,21 +409,27 @@ func (r *Registry) acquire(name string) (*entry, *handle, error) {
 // pinned for the duration, so a concurrent reload or Close drains this
 // request before the estimator it is using goes away.
 func (r *Registry) Estimate(ctx context.Context, name string, q workload.Query) (float64, error) {
-	_, h, err := r.acquire(name)
+	e, h, err := r.acquire(name)
 	if err != nil {
 		return 0, err
 	}
 	defer h.wg.Done()
+	if r.met.timed {
+		defer e.estSec.ObserveSince(time.Now())
+	}
 	return h.est.Estimate(ctx, q)
 }
 
 // EstimateBatch answers an explicit batch with the named model's estimator.
 func (r *Registry) EstimateBatch(ctx context.Context, name string, qs []workload.Query) ([]float64, error) {
-	_, h, err := r.acquire(name)
+	e, h, err := r.acquire(name)
 	if err != nil {
 		return nil, err
 	}
 	defer h.wg.Done()
+	if r.met.timed {
+		defer e.estSec.ObserveSince(time.Now())
+	}
 	return h.est.EstimateBatch(ctx, qs)
 }
 
@@ -460,9 +485,9 @@ func (r *Registry) Info() []ModelInfo {
 			Columns: e.table.NumCols(),
 			Join:    e.join,
 			Path:    e.path,
-			Reloads: e.reloads.Load(),
-			Swaps:   e.swaps.Load(),
-			Version: int(e.version.Load()),
+			Reloads: e.reloads.Value(),
+			Swaps:   e.swaps.Value(),
+			Version: int(e.version.Value()),
 		}
 		if e.graph != nil {
 			spec := e.graph.spec
@@ -508,7 +533,7 @@ type Stats struct {
 // Stats snapshots the registry counters.
 func (r *Registry) Stats() Stats {
 	info := r.Info()
-	s := Stats{Models: len(info), Routed: r.routed.Load(), JoinRouted: r.joinRouted.Load(),
+	s := Stats{Models: len(info), Routed: r.met.routed.Value(), JoinRouted: r.met.joinRouted.Value(),
 		PerModel: make(map[string]ModelStats, len(info))}
 	for _, mi := range info {
 		s.PerModel[mi.Name] = ModelStats{Stats: mi.Serve, Version: mi.Version, Swaps: mi.Swaps, Reloads: mi.Reloads}
@@ -685,7 +710,7 @@ func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
 	r.mu.Unlock()
 	e.swaps.Add(1)
 	if opts.Version > 0 {
-		e.version.Store(int64(opts.Version))
+		e.version.Set(float64(opts.Version))
 	}
 	old.wg.Wait()
 	old.est.Close()

@@ -194,7 +194,7 @@ func (r *Registry) routeSingle(target string, rq workload.RawQuery) (string, wor
 	if len(graphTables) > 0 {
 		q.Preds = append(q.Preds, e.graph.presencePreds(setKeys(graphTables))...)
 	}
-	r.routed.Add(1)
+	r.met.routed.Inc()
 	return name, q, nil
 }
 
@@ -243,8 +243,8 @@ func (r *Registry) routeLegacyJoin(target string, rq workload.RawQuery) (string,
 		}
 		q.Preds = append(q.Preds, p)
 	}
-	r.routed.Add(1)
-	r.joinRouted.Add(1)
+	r.met.routed.Inc()
+	r.met.joinRouted.Inc()
 	return name, q, true, nil
 }
 
@@ -342,8 +342,8 @@ func (r *Registry) routeGraph(target string, rq workload.RawQuery) (Resolution, 
 	if err != nil {
 		return Resolution{}, err
 	}
-	r.routed.Add(1)
-	r.joinRouted.Add(1)
+	r.met.routed.Inc()
+	r.met.joinRouted.Inc()
 	return Resolution{Model: name, Query: q, Calib: &workload.Query{Preds: presence}, Exact: exactCard}, nil
 }
 

@@ -102,7 +102,7 @@ func (b *bucket) take(n int) (bool, time.Duration) {
 func (e *Estimator) admit(n int) error {
 	if e.bucket != nil {
 		if ok, wait := e.bucket.take(n); !ok {
-			e.shed.Add(uint64(n))
+			e.met.shedRate.Add(uint64(n))
 			return &OverloadError{Reason: "rate", RetryAfter: wait}
 		}
 	}
@@ -111,7 +111,7 @@ func (e *Estimator) admit(n int) error {
 
 // shedQueue records one queue-bound rejection and builds its error.
 func (e *Estimator) shedQueue() error {
-	e.shed.Add(1)
+	e.met.shedQueue.Inc()
 	return &OverloadError{Reason: "queue", RetryAfter: e.queueRetry()}
 }
 

@@ -29,10 +29,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"duet/internal/obs"
 	"duet/internal/workload"
 )
 
@@ -66,6 +67,12 @@ type Config struct {
 	// Admission bounds the load the engine accepts (per-model QPS token
 	// bucket and queue-depth shedding). The zero value admits everything.
 	Admission AdmissionConfig
+	// Obs, when set, exports the engine's counters through the shared
+	// metrics registry and turns on the per-stage latency clocks. ObsModel
+	// is the value of the `model` label on every exported series. Nil keeps
+	// the counters private to Stats and the clocks off.
+	Obs      *obs.Registry
+	ObsModel string
 }
 
 func (c Config) withDefaults() Config {
@@ -101,11 +108,15 @@ type Stats struct {
 	RateLimit      float64 `json:"rate_limit,omitempty"` // configured QPS budget (0 = unlimited)
 }
 
-// request is one in-flight single-query estimate.
+// request is one in-flight single-query estimate. enq and tr ride along so
+// the dispatcher can attribute queue wait and execution time back to the
+// caller's trace.
 type request struct {
 	key string
 	q   workload.Query
 	out chan float64
+	enq time.Time  // enqueue instant; zero when neither metrics nor trace need it
+	tr  *obs.Trace // caller's trace; nil for untraced requests
 }
 
 // Estimator coalesces concurrent cardinality estimates into batched forward
@@ -124,16 +135,12 @@ type Estimator struct {
 
 	bucket *bucket // nil when no rate budget is configured
 
-	requests  atomic.Uint64
-	hits      atomic.Uint64
-	batches   atomic.Uint64
-	batched   atomic.Uint64
-	maxSeen   atomic.Uint64
-	shed      atomic.Uint64
-	reqPool   sync.Pool // recycles result channels across requests
-	dispBatch []request // dispatcher-only scratch
-	dispQs    []workload.Query
-	dispIdx   map[string]int
+	met        engineMetrics
+	reqPool    sync.Pool // recycles result channels across requests
+	dispBatch  []request // dispatcher-only scratch
+	dispQs     []workload.Query
+	dispIdx    map[string]int
+	sampleTick uint64 // dispatcher-only: 1-in-8 stage-clock sampling
 }
 
 // New starts a serving engine over backend. The caller owns backend and must
@@ -149,10 +156,12 @@ func New(backend Backend, cfg Config) *Estimator {
 		done:    make(chan struct{}),
 		drained: make(chan struct{}),
 		dispIdx: make(map[string]int, cfg.MaxBatch),
+		met:     newEngineMetrics(cfg.Obs, cfg.ObsModel),
 	}
 	if cfg.Admission.QPS > 0 {
 		e.bucket = newBucket(cfg.Admission.QPS, cfg.Admission.Burst)
 	}
+	registerEngineGauges(cfg.Obs, cfg.ObsModel, e)
 	e.reqPool.New = func() any { return make(chan float64, 1) }
 	go e.run()
 	return e
@@ -170,19 +179,54 @@ func (e *Estimator) Estimate(ctx context.Context, q workload.Query) (float64, er
 		return 0, ErrClosed
 	default:
 	}
-	e.requests.Add(1)
+	e.met.requests.Inc()
+	tr := obs.FromContext(ctx)
+	// The stage clocks run when metrics are wired or this request is traced;
+	// otherwise the hot path takes no extra time.Now calls.
+	timed := e.met.timed || tr != nil
 	key := q.CanonicalKey()
-	if card, ok := e.cache.get(key); ok {
-		e.hits.Add(1)
+	var t0 time.Time
+	// A disabled stage (no cache, no rate bucket) is a constant-time no-op;
+	// clocking it would only add time.Now pairs to the hot path for a
+	// zero-width histogram, so each stage clock also requires its stage.
+	timeCache := timed && e.cache != nil
+	if timeCache {
+		t0 = time.Now()
+	}
+	card, hit := e.cache.get(key)
+	if timeCache {
+		d := time.Since(t0)
+		if e.met.timed {
+			e.met.cacheLookup.Observe(d.Seconds())
+		}
+		tr.AddSpan("cache_lookup", t0, d, "hit", strconv.FormatBool(hit))
+	}
+	if hit {
+		e.met.hits.Inc()
 		return card, nil
 	}
 	// Admission guards the backend, so cache hits above are always free; only
 	// a miss spends rate budget or queue room.
-	if err := e.admit(1); err != nil {
+	timeAdmit := timed && e.bucket != nil
+	if timeAdmit {
+		t0 = time.Now()
+	}
+	err := e.admit(1)
+	if timeAdmit {
+		d := time.Since(t0)
+		if e.met.timed {
+			e.met.admissionWait.Observe(d.Seconds())
+		}
+		tr.AddSpan("admission_wait", t0, d)
+	}
+	if err != nil {
 		return 0, err
 	}
 	out := e.reqPool.Get().(chan float64)
-	r := request{key: key, q: q, out: out}
+	r := request{key: key, q: q, out: out, tr: tr}
+	if timed {
+		r.enq = time.Now()
+	}
 	if e.cfg.Admission.MaxQueue > 0 {
 		// Queue-bounded: the channel capacity is the bound, so a full channel
 		// sheds instead of blocking the caller behind the backlog.
@@ -240,16 +284,23 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 		return nil, ErrClosed
 	default:
 	}
-	e.requests.Add(uint64(len(qs)))
+	e.met.requests.Add(uint64(len(qs)))
+	tr := obs.FromContext(ctx)
+	timed := e.met.timed || tr != nil
 	out := make([]float64, len(qs))
 	keys := make([]string, len(qs))
 	missIdx := make(map[string][]int, len(qs)) // key -> positions awaiting it
 	var misses []workload.Query
 	var missKeys []string
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	hits := 0
 	for i, q := range qs {
 		keys[i] = q.CanonicalKey()
 		if card, ok := e.cache.get(keys[i]); ok {
-			e.hits.Add(1)
+			hits++
 			out[i] = card
 			continue
 		}
@@ -259,10 +310,33 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 		}
 		missIdx[keys[i]] = append(missIdx[keys[i]], i)
 	}
+	e.met.hits.Add(uint64(hits))
+	if dups := len(qs) - hits - len(misses); dups > 0 {
+		e.met.dedup.Add(uint64(dups))
+	}
+	if timed {
+		d := time.Since(t0)
+		if e.met.timed {
+			e.met.cacheLookup.Observe(d.Seconds())
+		}
+		tr.AddSpan("cache_lookup", t0, d,
+			"hits", strconv.Itoa(hits), "misses", strconv.Itoa(len(misses)))
+	}
 	// Rate-admit the distinct misses as one unit: a partially answered batch
 	// is useless to the caller, so admission is all-or-nothing.
 	if len(misses) > 0 {
-		if err := e.admit(len(misses)); err != nil {
+		if timed {
+			t0 = time.Now()
+		}
+		err := e.admit(len(misses))
+		if timed {
+			d := time.Since(t0)
+			if e.met.timed {
+				e.met.admissionWait.Observe(d.Seconds())
+			}
+			tr.AddSpan("admission_wait", t0, d)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -279,7 +353,17 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 			hi = len(misses)
 		}
 		chunk := misses[lo:hi]
-		cards := e.forward(chunk)
+		if timed {
+			t0 = time.Now()
+		}
+		cards := e.forward(chunk, e.met.timed)
+		if timed {
+			d := time.Since(t0)
+			if e.met.timed {
+				e.met.planExec.Observe(d.Seconds())
+			}
+			tr.AddSpan("plan_exec", t0, d, "batch_size", strconv.Itoa(len(chunk)))
+		}
 		for j := range chunk {
 			key := missKeys[lo+j]
 			e.cache.put(key, cards[j])
@@ -291,16 +375,18 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 	return out, nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The fields read the same
+// obs instruments the Prometheus exposition serves, so /v1/stats and
+// /v1/metrics always agree on any counter they both report.
 func (e *Estimator) Stats() Stats {
 	return Stats{
-		Requests:       e.requests.Load(),
-		CacheHits:      e.hits.Load(),
-		Batches:        e.batches.Load(),
-		BatchedQueries: e.batched.Load(),
-		MaxBatch:       e.maxSeen.Load(),
+		Requests:       e.met.requests.Value(),
+		CacheHits:      e.met.hits.Value(),
+		Batches:        e.met.batches.Value(),
+		BatchedQueries: e.met.batched.Value(),
+		MaxBatch:       uint64(e.met.maxBatch.Value()),
 		CacheEntries:   e.cache.len(),
-		Shed:           e.shed.Load(),
+		Shed:           e.met.shedRate.Value() + e.met.shedQueue.Value(),
 		RateLimit:      e.cfg.Admission.QPS,
 	}
 }
@@ -374,6 +460,7 @@ func (e *Estimator) run() {
 
 // flush answers one micro-batch: dedupe by canonical key, run one backend
 // forward over the distinct queries, populate the cache, deliver results.
+// Queue wait and execution time are attributed back to each rider's trace.
 func (e *Estimator) flush(batch []request) {
 	if len(batch) == 0 {
 		return
@@ -381,14 +468,47 @@ func (e *Estimator) flush(batch []request) {
 	qs := e.dispQs[:0]
 	idx := e.dispIdx
 	clear(idx)
+	traced := false
 	for _, r := range batch {
+		if r.tr != nil {
+			traced = true
+		}
 		if _, ok := idx[r.key]; !ok {
 			idx[r.key] = len(qs)
 			qs = append(qs, r.q)
 		}
 	}
-	cards := e.forward(qs)
+	if dups := len(batch) - len(qs); dups > 0 {
+		e.met.dedup.Add(uint64(dups))
+	}
+	// Untraced batches sample the stage clocks 1-in-8: the histograms remain
+	// uniform samples of the same distribution while the dispatcher's
+	// steady-state cost stays flat (the counters above are always exact).
+	// Any traced rider forces the clocks on — its spans need real times.
+	sampled := e.met.timed && e.sampleTick&7 == 0
+	e.sampleTick++
+	timed := sampled || traced
+	var execStart time.Time
+	if timed {
+		execStart = time.Now()
+	}
+	cards := e.forward(qs, sampled)
+	var execDur time.Duration
+	if timed {
+		execDur = time.Since(execStart)
+	}
+	if sampled {
+		e.met.planExec.Observe(execDur.Seconds())
+		for _, r := range batch {
+			e.met.batchWait.Observe(execStart.Sub(r.enq).Seconds())
+		}
+	}
+	size := strconv.Itoa(len(qs))
 	for _, r := range batch {
+		if r.tr != nil {
+			r.tr.AddSpan("batch_wait", r.enq, execStart.Sub(r.enq))
+			r.tr.AddSpan("plan_exec", execStart, execDur, "batch_size", size)
+		}
 		card := cards[idx[r.key]]
 		e.cache.put(r.key, card)
 		r.out <- card
@@ -397,17 +517,16 @@ func (e *Estimator) flush(batch []request) {
 }
 
 // forward runs one serialized backend pass and updates the batch counters.
-func (e *Estimator) forward(qs []workload.Query) []float64 {
+// sampled mirrors the flush-path clock sampling for the size histogram.
+func (e *Estimator) forward(qs []workload.Query, sampled bool) []float64 {
 	e.backendMu.Lock()
 	cards := e.backend.EstimateCardBatch(qs)
 	e.backendMu.Unlock()
-	e.batches.Add(1)
-	e.batched.Add(uint64(len(qs)))
-	for {
-		seen := e.maxSeen.Load()
-		if uint64(len(qs)) <= seen || e.maxSeen.CompareAndSwap(seen, uint64(len(qs))) {
-			break
-		}
+	e.met.batches.Inc()
+	e.met.batched.Add(uint64(len(qs)))
+	e.met.maxBatch.SetMax(float64(len(qs)))
+	if sampled {
+		e.met.batchSize.Observe(float64(len(qs)))
 	}
 	return cards
 }
