@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local and CI invocations stay identical.
 GO ?= go
 
-.PHONY: all build vet fmt test race bench perf perf-baseline serve
+.PHONY: all build vet fmt test race bench perf perf-baseline serve test-generic cross
 
 all: build vet fmt test
 
@@ -26,13 +26,24 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Fresh perf snapshot gated against the committed baseline (BENCH_PR7.json);
+# Full suite forced onto the pure-Go kernel tier: proves the SIMD dispatch
+# fallback path stays correct, not just compiled.
+test-generic:
+	DUET_KERNEL=generic $(GO) test ./...
+
+# Cross-compile + vet both released architectures; the arm64 pass assembles
+# the NEON kernels even when the build host is amd64.
+cross:
+	GOARCH=amd64 $(GO) build ./... && GOARCH=amd64 $(GO) vet ./...
+	GOARCH=arm64 $(GO) build ./... && GOARCH=arm64 $(GO) vet ./...
+
+# Fresh perf snapshot gated against the committed baseline (BENCH_PR8.json);
 # `make perf-baseline` refreshes the baseline itself after an intentional change.
 perf:
-	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR7.json -max-regress 0.30 -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR8.json -max-regress 0.30 -scale tiny
 
 perf-baseline:
-	$(GO) run ./cmd/duetbench -json BENCH_PR7.json -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_PR8.json -scale tiny
 
 serve:
 	$(GO) run ./cmd/duetserve -syn census -rows 20000

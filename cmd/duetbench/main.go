@@ -21,9 +21,13 @@
 // -baseline activates the trend gate: the fresh snapshot is compared against
 // the committed baseline report and the run exits non-zero when any
 // throughput metric regressed by more than -max-regress (default 30%), or
-// the swap latency grew past that allowance above a 25ms noise floor:
+// the swap latency grew past that allowance above a 25ms noise floor. The
+// "kernels" experiment adds the SIMD-tier figures (saxpy_gb_s, gemm_gflop_s,
+// per-tier batched q/s) and the int8 plan figures, which the gate bounds
+// absolutely: quant_qerr_ratio must stay <= 1.05 and the f32/int8 plan byte
+// ratio >= 3, regardless of the baseline run:
 //
-//	duetbench -json BENCH_NEW.json -baseline BENCH_PR5.json -scale tiny
+//	duetbench -json BENCH_NEW.json -baseline BENCH_PR8.json -scale tiny
 package main
 
 import (

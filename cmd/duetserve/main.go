@@ -83,6 +83,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	modelPath := flag.String("model", "", "trained model file (from duettrain)")
 	train := flag.Int("train", 3, "when no model file is given, train data-only for this many epochs")
+	quant := flag.String("quant", "", `packed-plan weight representation: "" (float32) or "int8" (single-model mode; manifests use per-model "quant")`)
 	// Multi-model flags.
 	manifestPath := flag.String("manifest", "", "multi-model manifest JSON (see package docs)")
 	modelDir := flag.String("modeldir", ".", "model directory for loading, saving, and watching weights")
@@ -116,6 +117,7 @@ func main() {
 	if !*metricsOn {
 		suite.Metrics = nil
 	}
+	duet.RegisterKernelMetrics(suite.Metrics)
 
 	if *proxyMode {
 		if err := runProxy(*addr, *members, *manifestPath, *replication, suite); err != nil {
@@ -166,7 +168,10 @@ func main() {
 			slog.Info("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle", "dir", *modelDir)
 		}
 	case *csvPath != "" || *syn != "":
-		if err := registerSingle(reg, *csvPath, *syn, *rows, *seed, *modelPath, *train); err != nil {
+		if err := validQuant("single", *quant); err != nil {
+			fatal(err)
+		}
+		if err := registerSingle(reg, *csvPath, *syn, *rows, *seed, *modelPath, *train, *quant); err != nil {
 			fatal(err)
 		}
 	default:
@@ -189,7 +194,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	slog.Info("serving", "models", reg.Len(), "addr", *addr, "names", strings.Join(reg.Names(), ", "))
+	slog.Info("serving", "models", reg.Len(), "addr", *addr, "kernel", duet.KernelTier(), "names", strings.Join(reg.Names(), ", "))
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -229,7 +234,7 @@ func parseLevel(s string) slog.Level {
 
 // registerSingle is the backward-compatible one-table mode: the sole model
 // answers /estimate requests that name no model.
-func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int64, modelPath string, train int) error {
+func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int64, modelPath string, train int, quant string) error {
 	var tbl *duet.Table
 	var name string
 	if csvPath != "" {
@@ -263,7 +268,7 @@ func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int6
 			return err
 		}
 		slog.Info("model loaded", "model", name, "path", modelPath, "mb", float64(m.SizeBytes())/1e6)
-		return reg.Add(name, tbl, m, duet.AddOpts{Path: modelPath})
+		return reg.Add(name, tbl, m, duet.AddOpts{Path: modelPath, Quant: quant})
 	}
 	m := duet.New(tbl, duet.DefaultConfig())
 	if train > 0 {
@@ -274,7 +279,7 @@ func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int6
 	} else {
 		slog.Warn("no -model given; serving an untrained model", "model", name)
 	}
-	return reg.Add(name, tbl, m, duet.AddOpts{})
+	return reg.Add(name, tbl, m, duet.AddOpts{Quant: quant})
 }
 
 func fatal(err error) {

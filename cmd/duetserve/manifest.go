@@ -207,6 +207,19 @@ type ModelSpec struct {
 	Large bool `json:"large,omitempty"`
 	// Serve overrides the engine configuration for this model only.
 	Serve *ServeSpec `json:"serve,omitempty"`
+	// Quant selects the packed-plan weight representation: "" (float32) or
+	// "int8". Serving configuration only — the weights file stays float32 and
+	// reloads/lifecycle swaps re-apply the mode to each generation.
+	Quant string `json:"quant,omitempty"`
+}
+
+// validQuant rejects unknown plan quantization modes at manifest load.
+func validQuant(owner, quant string) error {
+	switch quant {
+	case "", duet.QuantInt8:
+		return nil
+	}
+	return fmt.Errorf("model %q: unknown quant mode %q (want \"\" or %q)", owner, quant, duet.QuantInt8)
 }
 
 // JoinViewSpec declares one join view over tables named in Models.
@@ -247,6 +260,7 @@ type JoinViewSpec struct {
 	TrainEpochs *int       `json:"train_epochs,omitempty"`
 	Large       bool       `json:"large,omitempty"`
 	Serve       *ServeSpec `json:"serve,omitempty"`
+	Quant       string     `json:"quant,omitempty"`
 }
 
 // graph reports whether the spec uses the join-graph form.
@@ -305,6 +319,9 @@ func loadManifest(path string) (*Manifest, error) {
 		if err := ms.Serve.validate(ms.Name); err != nil {
 			return nil, fmt.Errorf("manifest %s: %w", path, err)
 		}
+		if err := validQuant(ms.Name, ms.Quant); err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", path, err)
+		}
 	}
 	for _, js := range m.Joins {
 		if js.Name == "" || names[js.Name] {
@@ -312,6 +329,9 @@ func loadManifest(path string) (*Manifest, error) {
 		}
 		names[js.Name] = true
 		if err := js.Serve.validate(js.Name); err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", path, err)
+		}
+		if err := validQuant(js.Name, js.Quant); err != nil {
 			return nil, fmt.Errorf("manifest %s: %w", path, err)
 		}
 		if js.Sample < 0 {
@@ -471,7 +491,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 		if err != nil {
 			return fmt.Errorf("model %q: %w", ms.Name, err)
 		}
-		opts := duet.AddOpts{Serve: ms.Serve.config(baseServe)}
+		opts := duet.AddOpts{Serve: ms.Serve.config(baseServe), Quant: ms.Quant}
 		if fileBacked {
 			opts.Path = path
 		}
@@ -504,6 +524,7 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 			return fmt.Errorf("join %q: %w", js.Name, err)
 		}
 		opts.Serve = js.Serve.config(baseServe)
+		opts.Quant = js.Quant
 		if fileBacked {
 			opts.Path = path
 		}

@@ -99,6 +99,7 @@ import (
 	"duet/internal/registry"
 	"duet/internal/relation"
 	"duet/internal/serve"
+	"duet/internal/tensor"
 	"duet/internal/workload"
 )
 
@@ -322,6 +323,26 @@ type (
 
 // ErrRegistryClosed is returned by registry operations after Registry.Close.
 var ErrRegistryClosed = registry.ErrClosed
+
+// QuantInt8 selects the int8 packed-plan weight representation in
+// AddOpts.Quant: per-span symmetric quantization, roughly 4x smaller resident
+// plan, with estimates that approximate (not bitwise match) the f32 plan's.
+const QuantInt8 = registry.QuantInt8
+
+// KernelTier reports the active SIMD kernel tier ("avx2", "sse", "neon", or
+// "generic"), selected at startup from CPU features; the DUET_KERNEL
+// environment variable forces a slower tier. Every tier computes bitwise-
+// identical results; they differ only in speed.
+func KernelTier() string { return tensor.KernelTier() }
+
+// RegisterKernelMetrics exports the active kernel tier as an info-style gauge
+// — duet_kernel_tier{tier="avx2"} 1 — so dashboards can break fleet latency
+// down by the SIMD tier each process selected. A nil registry is a no-op.
+func RegisterKernelMetrics(reg *ObsRegistry) {
+	reg.GaugeVec("duet_kernel_tier",
+		"Active SIMD kernel tier (info gauge: the selected tier's series is 1).", "tier").
+		With(tensor.KernelTier()).Set(1)
+}
 
 // NewRegistry creates an empty multi-model registry. Register models with
 // Registry.Add (a nil model loads weights from the model directory), then

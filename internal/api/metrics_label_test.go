@@ -1,0 +1,68 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"duet/internal/obs"
+	"duet/internal/registry"
+)
+
+// TestEstimateLatencyModelLabel: the estimate route's latency histogram
+// carries the resolved model name, batches spanning several models collapse
+// to "multi", and non-model routes keep the empty label.
+func TestEstimateLatencyModelLabel(t *testing.T) {
+	ta := testTable("alpha", 1)
+	tb := testTable("beta", 2)
+	reg := registry.New(registry.Config{Dir: t.TempDir()})
+	defer reg.Close()
+	if err := reg.Add("alpha", ta, smallModel(ta, 7), registry.AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("beta", tb, smallModel(tb, 8), registry.AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	suite := obs.NewSuite(obs.SuiteConfig{})
+	h := New(reg, nil, "", suite).Handler()
+
+	if rec := do(t, h, "POST", "/v1/estimate", `{"model":"alpha","query":"a<=1"}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "POST", "/v1/estimate", `{"queries":["alpha.a<=1","beta.a<=1"]}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("batch estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, h, "GET", "/v1/models", "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("models: %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	suite.Metrics.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`duet_http_request_seconds_count{route="/v1/estimate",model="alpha"}`,
+		`duet_http_request_seconds_count{route="/v1/estimate",model="multi"}`,
+		`duet_http_request_seconds_count{route="/v1/models",model=""}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestBatchModelLabel(t *testing.T) {
+	cases := []struct {
+		models []string
+		want   string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "a", "a"}, "a"},
+		{[]string{"a", "b"}, "multi"},
+	}
+	for _, c := range cases {
+		if got := batchModelLabel(c.models); got != c.want {
+			t.Errorf("batchModelLabel(%v) = %q, want %q", c.models, got, c.want)
+		}
+	}
+}

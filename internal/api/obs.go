@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"strings"
@@ -8,6 +9,23 @@ import (
 
 	"duet/internal/obs"
 )
+
+// modelLabelKey carries a *modelLabelHolder through the request context so a
+// handler can hand the model name it resolved back to the metrics middleware
+// (which observes latency after the handler returns).
+type modelLabelKey struct{}
+
+type modelLabelHolder struct{ name string }
+
+// SetModelLabel records the model a request resolved to; the HTTP metrics
+// middleware exports it as the "model" label on duet_http_request_seconds.
+// Routes that never resolve a model report the empty label. A context without
+// the middleware's holder ignores the call.
+func SetModelLabel(ctx context.Context, name string) {
+	if h, ok := ctx.Value(modelLabelKey{}).(*modelLabelHolder); ok {
+		h.name = name
+	}
+}
 
 // untraced reports paths excluded from tracing and never worth a ring slot:
 // scrapes, the trace ring itself, profiling, and health probes would
@@ -64,8 +82,10 @@ func (sw *statusWriter) WriteHeader(code int) {
 
 // WithHTTPMetrics counts requests and observes wall time per route. The
 // route label is the mux pattern that matched (a bounded set, unlike raw
-// paths); the code label is the response status. A nil registry passes
-// requests through untouched.
+// paths); the code label is the response status. Latency additionally carries
+// the model the handler resolved (via SetModelLabel) — registered model names
+// are a bounded set, so per-model estimate latency stays a safe cardinality.
+// A nil registry passes requests through untouched.
 func WithHTTPMetrics(reg *obs.Registry, next http.Handler) http.Handler {
 	if reg == nil {
 		return next
@@ -73,11 +93,13 @@ func WithHTTPMetrics(reg *obs.Registry, next http.Handler) http.Handler {
 	requests := reg.CounterVec("duet_http_requests_total",
 		"HTTP requests served, by mux route and response status.", "route", "code")
 	seconds := reg.HistogramVec("duet_http_request_seconds",
-		"HTTP request wall time, by mux route.", obs.LatencyBuckets, "route")
+		"HTTP request wall time, by mux route and resolved model (empty for non-model routes).",
+		obs.LatencyBuckets, "route", "model")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		holder := &modelLabelHolder{}
 		t0 := time.Now()
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), modelLabelKey{}, holder)))
 		route := r.Pattern
 		if route == "" {
 			route = r.URL.Path
@@ -86,6 +108,6 @@ func WithHTTPMetrics(reg *obs.Registry, next http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		requests.With(route, strconv.Itoa(sw.status)).Inc()
-		seconds.With(route).ObserveSince(t0)
+		seconds.With(route, holder.name).ObserveSince(t0)
 	})
 }

@@ -138,6 +138,7 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		obs.FromContext(r.Context()).SetAttr("model", res.Models[0])
+		SetModelLabel(r.Context(), res.Models[0])
 		WriteJSON(w, estimateResponse{Model: res.Models[0], Card: &res.Cards[0], ElapsedNS: time.Since(t0).Nanoseconds()})
 	case len(req.Queries) > 0 && req.Query == "":
 		res, err := s.reg.Query(r.Context(), registry.QueryRequest{Model: req.Model, Exprs: req.Queries})
@@ -145,11 +146,27 @@ func (s *Server) estimate(w http.ResponseWriter, r *http.Request) {
 			WriteError(w, r, statusFor(err), err, nil)
 			return
 		}
+		SetModelLabel(r.Context(), batchModelLabel(res.Models))
 		WriteJSON(w, estimateResponse{Models: res.Models, Cards: res.Cards, ElapsedNS: time.Since(t0).Nanoseconds()})
 	default:
 		WriteError(w, r, http.StatusBadRequest,
 			fmt.Errorf(`provide exactly one of "query" or "queries"`), nil)
 	}
+}
+
+// batchModelLabel collapses a batch's routed models to one metric label: the
+// name when every query resolved to the same model, "multi" otherwise (the
+// label set must stay bounded, so mixed batches are not enumerated).
+func batchModelLabel(models []string) string {
+	if len(models) == 0 {
+		return ""
+	}
+	for _, m := range models[1:] {
+		if m != models[0] {
+			return "multi"
+		}
+	}
+	return models[0]
 }
 
 // ingestRequest appends rows to a managed model's backing table. Row values

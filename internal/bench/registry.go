@@ -45,6 +45,10 @@ func Experiments() []Experiment {
 			_, err := ObsOverhead(w, s)
 			return err
 		}},
+		{"kernels", "Kernels: SIMD tier throughput + int8 quantized plan", func(w io.Writer, s Scale) error {
+			_, err := Kernels(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

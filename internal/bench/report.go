@@ -68,6 +68,19 @@ type PerfReport struct {
 	ObsQPS         float64 `json:"obs_qps"`
 	ObsOverheadPct float64 `json:"obs_overhead_pct"`
 
+	// SIMD kernels + quantization (the Kernels experiment): the active
+	// dispatch tier's microkernel throughput, and the int8 packed plan's
+	// accuracy ratio and resident footprint against float32. The throughput
+	// figures are trend-gated relatively; the q-error ratio is bounded
+	// absolutely at 1.05 and the f32/int8 byte ratio at >= 3.
+	KernelTier     string  `json:"kernel_tier"`
+	SaxpyGBs       float64 `json:"saxpy_gb_s"`
+	GemmGFLOPs     float64 `json:"gemm_gflop_s"`
+	QuantQErrRatio float64 `json:"quant_qerr_ratio"`
+	QuantBatchQPS  float64 `json:"quant_batch_qps"`
+	PlanBytesF32   int     `json:"plan_bytes_f32"`
+	PlanBytesI8    int     `json:"plan_bytes_int8"`
+
 	ElapsedS float64 `json:"elapsed_s"`
 }
 
@@ -186,6 +199,18 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	rep.ObsBaseQPS = ob.BaseQPS
 	rep.ObsQPS = ob.ObsQPS
 	rep.ObsOverheadPct = ob.OverheadPct
+
+	kn, err := Kernels(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.KernelTier = kn.Tier
+	rep.SaxpyGBs = kn.SaxpyGBs[kn.Tier]
+	rep.GemmGFLOPs = kn.GemmGFLOPs[kn.Tier]
+	rep.QuantQErrRatio = kn.QuantQErrRatio
+	rep.QuantBatchQPS = kn.QuantBatchQPS
+	rep.PlanBytesF32 = kn.PlanBytesF32
+	rep.PlanBytesI8 = kn.PlanBytesI8
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

@@ -68,5 +68,27 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 			fmt.Sprintf("obs overhead too high: %.2f%% of sequential q/s (budget 5%%; %.0f -> %.0f q/s)",
 				r.ObsOverheadPct, r.ObsBaseQPS, r.ObsQPS))
 	}
+	// Kernel-tier throughput trends relatively like the other rates; both runs
+	// must be on the same tier for the comparison to mean anything.
+	if base.KernelTier == r.KernelTier {
+		check("saxpy GB/s", r.SaxpyGBs, base.SaxpyGBs)
+		check("gemm GFLOP/s", r.GemmGFLOPs, base.GemmGFLOPs)
+		check("quant batched q/s", r.QuantBatchQPS, base.QuantBatchQPS)
+	}
+	// The quantization gates are absolute: int8 must stay within 5% of the
+	// f32 plan's median q-error and at least 3x smaller, whatever the
+	// baseline run measured. Skipped when the baseline predates the fields.
+	if base.PlanBytesF32 > 0 {
+		if r.QuantQErrRatio > 1.05 {
+			regressions = append(regressions,
+				fmt.Sprintf("int8 plan accuracy too lossy: median q-error %.4fx the f32 plan's (budget 1.05x)",
+					r.QuantQErrRatio))
+		}
+		if r.PlanBytesI8 > 0 && float64(r.PlanBytesF32)/float64(r.PlanBytesI8) < 3 {
+			regressions = append(regressions,
+				fmt.Sprintf("int8 plan too large: %d -> %d bytes is only %.2fx smaller (budget 3x)",
+					r.PlanBytesF32, r.PlanBytesI8, float64(r.PlanBytesF32)/float64(r.PlanBytesI8)))
+		}
+	}
 	return regressions
 }

@@ -74,6 +74,37 @@ func TestCompareBaseline(t *testing.T) {
 	if len(regs) != 1 || !strings.Contains(regs[0], "proxy overhead") {
 		t.Fatalf("proxy overhead regression not flagged: %v", regs)
 	}
+	// Kernel throughput gates relatively, but only when both runs used the
+	// same tier — an avx2 baseline cannot fail a generic-forced run.
+	base = &PerfReport{KernelTier: "avx2", SaxpyGBs: 100, GemmGFLOPs: 50}
+	cur = &PerfReport{KernelTier: "avx2", SaxpyGBs: 40, GemmGFLOPs: 50}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "saxpy GB/s") {
+		t.Fatalf("saxpy regression not flagged: %v", regs)
+	}
+	cur = &PerfReport{KernelTier: "generic", SaxpyGBs: 5, GemmGFLOPs: 1}
+	if regs := cur.CompareBaseline(base, 0.30); len(regs) != 0 {
+		t.Fatalf("cross-tier comparison flagged: %v", regs)
+	}
+	// The int8 plan gates are absolute: accuracy ratio bounded at 1.05x and
+	// the size shrink at 3x, independent of the baseline's values.
+	base = &PerfReport{PlanBytesF32: 400, PlanBytesI8: 100, QuantQErrRatio: 1.0}
+	cur = &PerfReport{PlanBytesF32: 400, PlanBytesI8: 100, QuantQErrRatio: 1.2}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "accuracy too lossy") {
+		t.Fatalf("quant accuracy regression not flagged: %v", regs)
+	}
+	cur = &PerfReport{PlanBytesF32: 400, PlanBytesI8: 200, QuantQErrRatio: 1.0}
+	regs = cur.CompareBaseline(base, 0.30)
+	if len(regs) != 1 || !strings.Contains(regs[0], "plan too large") {
+		t.Fatalf("quant size regression not flagged: %v", regs)
+	}
+	// Baselines predating the quant fields skip both absolute gates.
+	old = &PerfReport{SeqQPS: 1000}
+	cur = &PerfReport{SeqQPS: 1000, QuantQErrRatio: 9, PlanBytesF32: 0}
+	if regs := cur.CompareBaseline(old, 0.30); len(regs) != 0 {
+		t.Fatalf("pre-quant baseline tripped the gate: %v", regs)
+	}
 }
 
 func TestLoadReportRoundtrip(t *testing.T) {

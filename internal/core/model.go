@@ -82,8 +82,9 @@ type Model struct {
 	net    *made.MADE
 	params []*nn.Param
 
-	merged *mergedMPSN // optional fused inference path, built by Merge
-	plan   *made.Plan  // packed batch inference plan, built lazily, nil when stale
+	merged  *mergedMPSN     // optional fused inference path, built by Merge
+	plan    *made.Plan      // packed batch inference plan, built lazily, nil when stale
+	planCfg made.PlanConfig // how the plan is compiled (e.g. int8 quantization)
 
 	// Inference scratch (Estimate is not safe for concurrent use; clone the
 	// model or guard with a mutex for concurrent estimation — the serve
@@ -355,7 +356,7 @@ func (m *Model) EstimateCardBatch(qs []workload.Query) []float64 {
 		return out
 	}
 	if m.plan == nil {
-		m.plan = made.NewPlan(m.net)
+		m.plan = made.NewPlan(m.net, m.planCfg)
 	}
 	specs := m.specBatch[:0]
 	for _, q := range qs {
@@ -427,6 +428,34 @@ func (m *Model) neededBlocks(qs []workload.Query) [][]int32 {
 // estimate recompiles it from the current weights. Training does this
 // automatically — call it manually only after mutating parameters directly.
 func (m *Model) InvalidatePlan() { m.plan = nil }
+
+// SetPlanConfig selects how the packed inference plan is compiled (e.g.
+// int8 weight quantization). A change invalidates any existing plan. The
+// setting is serving configuration, not model state: Save does not persist
+// it, and the registry re-applies it from the manifest after every load.
+// Like the other plan operations it must not race with inference.
+func (m *Model) SetPlanConfig(cfg made.PlanConfig) {
+	if cfg != m.planCfg {
+		m.planCfg = cfg
+		m.plan = nil
+	}
+}
+
+// PlanConfig returns the current plan compilation setting.
+func (m *Model) PlanConfig() made.PlanConfig { return m.planCfg }
+
+// WarmPlan compiles the packed inference plan now (if stale) instead of on
+// the first batched estimate, and reports its resident weight bytes. The
+// registry warms plans at install time so the first estimate after an add,
+// reload or swap does not pay compilation latency — and so concurrent
+// readers never observe a half-built plan (Model is externally serialized
+// only on the serving path).
+func (m *Model) WarmPlan() int {
+	if m.plan == nil {
+		m.plan = made.NewPlan(m.net, m.planCfg)
+	}
+	return m.plan.WeightBytes()
+}
 
 // maskedProduct computes Π_i Σ_{v∈I_i} P(C_i = v | ·) over the constrained
 // columns, the core of Algorithm 3.

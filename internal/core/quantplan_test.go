@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/made"
+	"duet/internal/workload"
+)
+
+// TestQuantizedPlanAccuracyAndSize: the int8 plan must shrink resident
+// weight bytes by at least 3x and stay close to the f32 plan's estimates
+// (the bench trend gate bounds the census q-error delta; this is the
+// fast in-tree guard on the same property).
+func TestQuantizedPlanAccuracyAndSize(t *testing.T) {
+	tbl := tinyTable(300)
+	m := NewModel(tbl, tinyConfig())
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	cfg.BatchSize = 128
+	cfg.Lambda = 0
+	Train(m, cfg)
+
+	qs := workload.Generate(tbl, workload.GenConfig{Seed: 11, NumQueries: 40, MinPreds: 1, MaxPreds: 3, BoundedCol: -1})
+	f32 := append([]float64(nil), m.EstimateCardBatch(qs)...)
+	f32Bytes := m.WarmPlan()
+
+	m.SetPlanConfig(made.PlanConfig{Quantize: true})
+	if got := m.PlanConfig(); !got.Quantize {
+		t.Fatal("PlanConfig not updated")
+	}
+	qBytes := m.WarmPlan()
+	if qBytes <= 0 || f32Bytes <= 0 {
+		t.Fatalf("weight bytes f32=%d int8=%d", f32Bytes, qBytes)
+	}
+	if ratio := float64(f32Bytes) / float64(qBytes); ratio < 3 {
+		t.Fatalf("int8 plan only %.2fx smaller (f32=%dB int8=%dB), want >= 3x", ratio, f32Bytes, qBytes)
+	}
+	quant := m.EstimateCardBatch(qs)
+	for i := range f32 {
+		hi, lo := f32[i], quant[i]
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		// Per-span int8 perturbs each weight by at most half a quantization
+		// step; estimates should track the f32 plan within a small q-error.
+		if lo+1 < hi && hi/(lo+1e-9) > 1.3 {
+			t.Fatalf("query %d: quantized estimate %v vs f32 %v diverges beyond 1.3x", i, quant[i], f32[i])
+		}
+	}
+	// Batch composition independence holds for the quantized plan too.
+	for _, i := range []int{0, 7, len(qs) - 1} {
+		if got := m.EstimateCardBatch(qs[i : i+1])[0]; got != quant[i] {
+			t.Fatalf("query %d: singleton quantized batch %v vs batch %v", i, got, quant[i])
+		}
+	}
+	// Switching back invalidates and recompiles the f32 plan.
+	m.SetPlanConfig(made.PlanConfig{})
+	back := m.EstimateCardBatch(qs)
+	for i := range f32 {
+		if back[i] != f32[i] {
+			t.Fatalf("query %d: plan did not restore f32 behavior: %v vs %v", i, back[i], f32[i])
+		}
+	}
+}
+
+// TestQuantizedPlanSurvivesClone: serving config (the plan mode) travels
+// with CloneFor, so lifecycle retrains keep serving the tier operators chose.
+func TestQuantizedPlanSurvivesClone(t *testing.T) {
+	tbl := tinyTable(120)
+	m := NewModel(tbl, tinyConfig())
+	m.SetPlanConfig(made.PlanConfig{Quantize: true})
+	c, err := m.CloneFor(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PlanConfig().Quantize {
+		t.Fatal("clone dropped the quantized plan config")
+	}
+}

@@ -47,6 +47,7 @@ func (m *Model) CloneFor(t *relation.Table) (*Model, error) {
 		return nil, err
 	}
 	c := NewModel(t, m.cfg)
+	c.planCfg = m.planCfg // serving config travels with the clone
 	if len(c.params) != len(m.params) {
 		return nil, fmt.Errorf("core: clone built %d params, source has %d", len(c.params), len(m.params))
 	}

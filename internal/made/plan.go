@@ -21,6 +21,15 @@
 // processes rows independently in a fixed order. A Plan is a snapshot:
 // weights updated by training are not reflected; rebuild after training.
 // Forward is safe for concurrent use only via external serialization.
+//
+// PlanConfig{Quantize: true} builds the plan with int8 weights instead of
+// float32: every packed span (and every hidden row of an output slab) stores
+// symmetric int8 codes plus one float32 scale (tensor.QuantizeI8S), and
+// Forward runs the fused dequantize-accumulate kernel (tensor.SaxpyI8) with
+// the activation×scale product folded into alpha. Weight memory shrinks
+// close to 4x and the kernel streams a quarter of the bytes; results are an
+// approximation of the f32 plan (the trend gate bounds the q-error delta),
+// but remain deterministic and batch-composition independent.
 package made
 
 import (
@@ -31,22 +40,32 @@ import (
 	"duet/internal/tensor"
 )
 
+// PlanConfig selects how NewPlan compiles the weights.
+type PlanConfig struct {
+	// Quantize stores weights as per-span int8 codes with float32 scales
+	// instead of float32, trading ≤ one quantization step of weight
+	// precision per element for ~4x smaller resident spans.
+	Quantize bool
+}
+
 // Plan is a compiled inference path for one MADE network. Build with NewPlan,
 // run with Forward.
 type Plan struct {
-	out    nn.Blocks
-	trunk  []planLayer
-	proj   *packedOutput
-	logits *tensor.Matrix // reusable output buffer
+	out       nn.Blocks
+	trunk     []planLayer
+	proj      *packedOutput
+	logits    *tensor.Matrix // reusable output buffer
+	quantized bool
 }
 
 // planLayer is one compiled trunk stage.
 type planLayer interface {
 	forward(x *tensor.Matrix) *tensor.Matrix
+	weightBytes() int
 }
 
 // NewPlan compiles the network's current weights.
-func NewPlan(m *MADE) *Plan {
+func NewPlan(m *MADE, cfg PlanConfig) *Plan {
 	layers := m.Net.Layers
 	if len(layers) == 0 {
 		panic("made: empty network")
@@ -55,11 +74,30 @@ func NewPlan(m *MADE) *Plan {
 	if !ok {
 		panic(fmt.Sprintf("made: final layer is %T, expected *nn.MaskedLinear", layers[len(layers)-1]))
 	}
-	p := &Plan{out: m.Out, logits: &tensor.Matrix{}}
-	trunk, trunkOrder := compileStack(layers[:len(layers)-1], nil, nil)
+	p := &Plan{out: m.Out, logits: &tensor.Matrix{}, quantized: cfg.Quantize}
+	trunk, trunkOrder := compileStack(layers[:len(layers)-1], nil, nil, cfg.Quantize)
 	p.trunk = trunk
-	p.proj = packOutput(&last.Linear, m.Out, trunkOrder)
+	p.proj = packOutput(&last.Linear, m.Out, trunkOrder, cfg.Quantize)
 	return p
+}
+
+// Quantized reports whether the plan stores int8 weights.
+func (p *Plan) Quantized() bool { return p.quantized }
+
+// WeightBytes returns the resident bytes of the plan's weight payloads
+// (packed spans, output slabs, scales and biases; excludes span metadata
+// and activation buffers). It is the number operators compare across
+// quantized and f32 plans.
+func (p *Plan) WeightBytes() int {
+	total := 0
+	for _, l := range p.trunk {
+		total += l.weightBytes()
+	}
+	for i := range p.proj.blocks {
+		blk := &p.proj.blocks[i]
+		total += 4*len(blk.w) + len(blk.wq) + 4*len(blk.scale) + 4*len(blk.bias)
+	}
+	return total
 }
 
 // compileStack compiles a trunk layer list. rowOrder is the layout of the
@@ -67,7 +105,7 @@ func NewPlan(m *MADE) *Plan {
 // column order of the stack's final re-ordering layer (residual branches
 // must end in the layout they started in, so the skip add lines up). It
 // returns the compiled stack and the layout its output is in.
-func compileStack(layers []nn.Layer, rowOrder, forceCols []int32) ([]planLayer, []int32) {
+func compileStack(layers []nn.Layer, rowOrder, forceCols []int32, quant bool) ([]planLayer, []int32) {
 	out := make([]planLayer, 0, len(layers))
 	// Find the last layer that re-orders columns, so forceCols lands on it.
 	pinIdx := -1
@@ -88,11 +126,11 @@ func compileStack(layers []nn.Layer, rowOrder, forceCols []int32) ([]planLayer, 
 		}
 		switch l := l.(type) {
 		case *nn.MaskedLinear:
-			pl := packLinear(&l.Linear, colOrder, pin)
+			pl := packLinear(&l.Linear, colOrder, pin, quant)
 			colOrder = pl.cols
 			out = append(out, pl)
 		case *nn.Linear:
-			pl := packLinear(l, colOrder, pin)
+			pl := packLinear(l, colOrder, pin, quant)
 			colOrder = pl.cols
 			out = append(out, pl)
 		case *nn.ReLU:
@@ -112,7 +150,7 @@ func compileStack(layers []nn.Layer, rowOrder, forceCols []int32) ([]planLayer, 
 			if want == nil {
 				want = identityOrder(innerOutWidth(inner))
 			}
-			compiled, _ := compileStack(inner.Layers, colOrder, want)
+			compiled, _ := compileStack(inner.Layers, colOrder, want, quant)
 			out = append(out, &residualPlan{inner: compiled, out: &tensor.Matrix{}})
 			colOrder = want
 		default:
@@ -146,21 +184,28 @@ func identityOrder(n int) []int32 {
 
 // packedLinear is a span-packed snapshot of a Linear/MaskedLinear with its
 // output units re-ordered so each input unit's allowed outputs form one
-// contiguous span.
+// contiguous span. Exactly one of w (float32 spans) and wq (int8 codes with
+// one scale per input row's span) is populated, chosen at pack time.
 type packedLinear struct {
 	inW, outW int
 	cols      []int32 // output layout: position p holds original unit cols[p]
 	start     []int32 // per input row: first output position of its span
-	wOff      []int32 // per input row: offset into w; len inW+1
+	wOff      []int32 // per input row: offset into w/wq; len inW+1
 	w         []float32
+	wq        []int8    // quantized spans; same offsets as w
+	scale     []float32 // per input row: dequant scale of its span
 	bias      []float32 // re-ordered; nil when the layer has none
 	out       *tensor.Matrix
 }
 
+func (p *packedLinear) weightBytes() int {
+	return 4*len(p.w) + len(p.wq) + 4*len(p.scale) + 4*len(p.bias)
+}
+
 // packLinear snapshots l. rowOrder is the layout of the incoming activation
 // buffer (nil = natural); colOrder pins the output layout (nil = sort units
-// by connectivity extent so spans are tight).
-func packLinear(l *nn.Linear, rowOrder, colOrder []int32) *packedLinear {
+// by connectivity extent so spans are tight). quant selects int8 spans.
+func packLinear(l *nn.Linear, rowOrder, colOrder []int32, quant bool) *packedLinear {
 	W := l.Weight.W
 	if rowOrder == nil {
 		rowOrder = identityOrder(l.In)
@@ -194,6 +239,15 @@ func packLinear(l *nn.Linear, rowOrder, colOrder []int32) *packedLinear {
 			p.bias[pcol] = l.Bias.W.Data[j]
 		}
 	}
+	if quant {
+		p.wq = make([]int8, len(p.w))
+		p.scale = make([]float32, l.In)
+		for a := 0; a < l.In; a++ {
+			lo, hi := p.wOff[a], p.wOff[a+1]
+			p.scale[a] = tensor.QuantizeI8S(p.wq[lo:hi], p.w[lo:hi])
+		}
+		p.w = nil // drop the f32 copy; wq+scale are the resident weights
+	}
 	return p
 }
 
@@ -217,6 +271,7 @@ func sortBySupport(W *tensor.Matrix, rowOrder []int32) []int32 {
 
 func (p *packedLinear) forward(x *tensor.Matrix) *tensor.Matrix {
 	out := p.out.Resize(x.Rows, p.outW)
+	quant := p.wq != nil
 	tensor.ParallelFor(x.Rows, 8, func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			xRow := x.Row(r)
@@ -224,15 +279,30 @@ func (p *packedLinear) forward(x *tensor.Matrix) *tensor.Matrix {
 			for j := range dst {
 				dst[j] = 0
 			}
-			for k, av := range xRow {
-				if av == 0 {
-					continue
+			if quant {
+				for k, av := range xRow {
+					if av == 0 {
+						continue
+					}
+					wq := p.wq[p.wOff[k]:p.wOff[k+1]]
+					if len(wq) == 0 {
+						continue
+					}
+					// One rounding for activation×scale, then the fused
+					// dequantize-accumulate kernel.
+					tensor.SaxpyI8(av*p.scale[k], wq, dst[p.start[k]:])
 				}
-				w := p.w[p.wOff[k]:p.wOff[k+1]]
-				if len(w) == 0 {
-					continue
+			} else {
+				for k, av := range xRow {
+					if av == 0 {
+						continue
+					}
+					w := p.w[p.wOff[k]:p.wOff[k+1]]
+					if len(w) == 0 {
+						continue
+					}
+					tensor.Saxpy(av, w, dst[p.start[k]:])
 				}
-				tensor.Saxpy(av, w, dst[p.start[k]:])
 			}
 			if p.bias != nil {
 				for j, bv := range p.bias {
@@ -255,6 +325,8 @@ func (reluInPlace) forward(x *tensor.Matrix) *tensor.Matrix {
 	return x
 }
 
+func (reluInPlace) weightBytes() int { return 0 }
+
 // ----- residual block -----
 
 type residualPlan struct {
@@ -274,15 +346,26 @@ func (p *residualPlan) forward(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+func (p *residualPlan) weightBytes() int {
+	total := 0
+	for _, l := range p.inner {
+		total += l.weightBytes()
+	}
+	return total
+}
+
 // ----- packed output projection -----
 
 // outBlock is one output block's packed weights. In the degree-sorted hidden
 // layout its contributing units are a prefix [0, cut), so the weights are a
-// dense cut×width slab streamed linearly.
+// dense cut×width slab streamed linearly. Exactly one of w and wq holds the
+// slab; wq carries one scale per hidden row.
 type outBlock struct {
 	off, width int
 	cut        int
 	w          []float32 // cut*width
+	wq         []int8    // quantized slab; same layout
+	scale      []float32 // per hidden row t < cut: dequant scale
 	bias       []float32 // the block's bias slice
 }
 
@@ -291,8 +374,8 @@ type packedOutput struct {
 }
 
 // packOutput snapshots the output projection block by block, rows in the
-// trunk's output layout.
-func packOutput(l *nn.Linear, out nn.Blocks, rowOrder []int32) *packedOutput {
+// trunk's output layout. quant selects int8 slabs.
+func packOutput(l *nn.Linear, out nn.Blocks, rowOrder []int32, quant bool) *packedOutput {
 	W := l.Weight.W
 	if rowOrder == nil {
 		rowOrder = identityOrder(l.In)
@@ -319,6 +402,14 @@ func packOutput(l *nn.Linear, out nn.Blocks, rowOrder []int32) *packedOutput {
 		if l.Bias != nil {
 			blk.bias = append([]float32(nil), l.Bias.W.Data[blk.off:blk.off+blk.width]...)
 		}
+		if quant {
+			blk.wq = make([]int8, len(blk.w))
+			blk.scale = make([]float32, cut)
+			for t := 0; t < cut; t++ {
+				blk.scale[t] = tensor.QuantizeI8S(blk.wq[t*blk.width:(t+1)*blk.width], blk.w[t*blk.width:(t+1)*blk.width])
+			}
+			blk.w = nil
+		}
 	}
 	return p
 }
@@ -337,12 +428,22 @@ func (p *packedOutput) forward(h *tensor.Matrix, needed [][]int32, logits *tenso
 					seg[j] = 0
 				}
 				width := blk.width
-				for t := 0; t < blk.cut; t++ {
-					av := hRow[t]
-					if av == 0 {
-						continue
+				if blk.wq != nil {
+					for t := 0; t < blk.cut; t++ {
+						av := hRow[t]
+						if av == 0 {
+							continue
+						}
+						tensor.SaxpyI8(av*blk.scale[t], blk.wq[t*width:(t+1)*width], seg)
 					}
-					tensor.Saxpy(av, blk.w[t*width:(t+1)*width], seg)
+				} else {
+					for t := 0; t < blk.cut; t++ {
+						av := hRow[t]
+						if av == 0 {
+							continue
+						}
+						tensor.Saxpy(av, blk.w[t*width:(t+1)*width], seg)
+					}
 				}
 				if blk.bias != nil {
 					for j, bv := range blk.bias {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"duet/internal/core"
+	"duet/internal/made"
 	"duet/internal/obs"
 	"duet/internal/relation"
 	"duet/internal/serve"
@@ -100,10 +101,12 @@ type entry struct {
 	// generation, the model file ("" for purely in-memory models; SaveModel
 	// arms it), and the file size+mtime at last load (watcher bookkeeping —
 	// the pair forms the debounce signature).
-	h       *handle
-	path    string
-	modTime time.Time
-	modSize int64
+	h         *handle
+	path      string
+	modTime   time.Time
+	modSize   int64
+	quant     string // plan weight representation ("" f32, "int8"); sticky across reloads/swaps
+	planBytes int    // resident packed-plan weight bytes at last install
 
 	reloadMu sync.Mutex // serializes reloads and swaps of this entry
 
@@ -126,6 +129,8 @@ type ModelInfo struct {
 	Graph      *JoinGraphSpec `json:"graph,omitempty"`
 	Path       string         `json:"path,omitempty"`
 	ModelBytes int64          `json:"model_bytes"`
+	Quant      string         `json:"quant,omitempty"`
+	PlanBytes  int            `json:"plan_bytes,omitempty"`
 	Reloads    uint64         `json:"reloads"`
 	Swaps      uint64         `json:"swaps"`
 	Version    int            `json:"version"`
@@ -199,6 +204,30 @@ type AddOpts struct {
 	// (micro-batch size, flush window, cache size, queue depth). Reloads
 	// keep the override.
 	Serve *serve.Config
+	// Quant selects the packed-plan weight representation: "" (float32) or
+	// "int8" (per-span symmetric quantization, ~4x smaller resident plan,
+	// estimates approximate the f32 plan's). It is serving configuration,
+	// not part of the model artifact: reloads and lifecycle swaps re-apply
+	// it to each incoming generation, and the plan is warmed at install so
+	// the first estimate never pays plan-compile latency.
+	Quant string
+}
+
+// QuantInt8 is the AddOpts.Quant / manifest value selecting the int8 plan.
+const QuantInt8 = "int8"
+
+// applyPlanQuant validates a quant mode, applies it to the model's serving
+// plan config, and warms the packed plan, returning its resident weight
+// bytes. It runs before a model handle is published, so concurrent readers
+// always see a fully built plan.
+func applyPlanQuant(m *core.Model, quant string) (int, error) {
+	switch quant {
+	case "", QuantInt8:
+	default:
+		return 0, fmt.Errorf("registry: unknown quant mode %q (want \"\" or %q)", quant, QuantInt8)
+	}
+	m.SetPlanConfig(made.PlanConfig{Quantize: quant == QuantInt8})
+	return m.WarmPlan(), nil
 }
 
 // Add registers a model for table t under name. With a non-nil model the
@@ -241,6 +270,10 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 	if err := checkServable(m); err != nil {
 		return err
 	}
+	planBytes, err := applyPlanQuant(m, opts.Quant)
+	if err != nil {
+		return err
+	}
 	serveCfg := r.cfg.Serve
 	if opts.Serve != nil {
 		serveCfg = *opts.Serve
@@ -250,19 +283,21 @@ func (r *Registry) Add(name string, t *relation.Table, m *core.Model, opts AddOp
 	serveCfg.Obs = r.cfg.Obs
 	serveCfg.ObsModel = name
 	e := &entry{
-		name:     name,
-		table:    t,
-		path:     path,
-		join:     opts.Join,
-		graph:    graph,
-		serveCfg: serveCfg,
-		modTime:  modTime,
-		modSize:  modSize,
-		h:        &handle{model: m, est: serve.New(m, serveCfg)},
-		reloads:  r.met.reloads.With(name),
-		swaps:    r.met.swaps.With(name),
-		version:  r.met.version.With(name),
-		estSec:   r.met.estSec.With(name),
+		name:      name,
+		table:     t,
+		path:      path,
+		join:      opts.Join,
+		graph:     graph,
+		serveCfg:  serveCfg,
+		modTime:   modTime,
+		modSize:   modSize,
+		quant:     opts.Quant,
+		planBytes: planBytes,
+		h:         &handle{model: m, est: serve.New(m, serveCfg)},
+		reloads:   r.met.reloads.With(name),
+		swaps:     r.met.swaps.With(name),
+		version:   r.met.version.With(name),
+		estSec:    r.met.estSec.With(name),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -479,15 +514,17 @@ func (r *Registry) Info() []ModelInfo {
 	pinned := !r.closed
 	for _, e := range r.entries {
 		mi := ModelInfo{
-			Name:    e.name,
-			Table:   e.table.Name,
-			Rows:    e.table.NumRows(),
-			Columns: e.table.NumCols(),
-			Join:    e.join,
-			Path:    e.path,
-			Reloads: e.reloads.Value(),
-			Swaps:   e.swaps.Value(),
-			Version: int(e.version.Value()),
+			Name:      e.name,
+			Table:     e.table.Name,
+			Rows:      e.table.NumRows(),
+			Columns:   e.table.NumCols(),
+			Join:      e.join,
+			Path:      e.path,
+			Quant:     e.quant,
+			PlanBytes: e.planBytes,
+			Reloads:   e.reloads.Value(),
+			Swaps:     e.swaps.Value(),
+			Version:   int(e.version.Value()),
 		}
 		if e.graph != nil {
 			spec := e.graph.spec
@@ -580,6 +617,12 @@ func (r *Registry) reload(name string) error {
 	if err := checkServable(m); err != nil {
 		return err
 	}
+	// Serving config is sticky: the quant mode chosen at Add survives every
+	// reload, and the plan is warmed before the handle is published.
+	planBytes, err := applyPlanQuant(m, e.quant)
+	if err != nil {
+		return err
+	}
 	nh := &handle{model: m, est: serve.New(m, e.serveCfg)}
 	r.mu.Lock()
 	if r.closed {
@@ -591,6 +634,7 @@ func (r *Registry) reload(name string) error {
 	e.h = nh
 	e.modTime = modTime
 	e.modSize = modSize
+	e.planBytes = planBytes
 	r.mu.Unlock()
 	e.reloads.Add(1)
 	// Drain: every request that pinned the old generation did so before the
@@ -690,6 +734,13 @@ func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
 			modTime, modSize = fi.ModTime(), fi.Size()
 		}
 	}
+	// The entry's quant mode is serving config, not artifact state: a retrain
+	// built off-line gets it re-applied here so the installed generation keeps
+	// serving the representation operators chose, with a pre-warmed plan.
+	planBytes, err := applyPlanQuant(m, e.quant)
+	if err != nil {
+		return err
+	}
 	nh := &handle{model: m, est: serve.New(m, e.serveCfg)}
 	r.mu.Lock()
 	if r.closed {
@@ -700,6 +751,7 @@ func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
 	old := e.h
 	e.h = nh
 	e.table = nt
+	e.planBytes = planBytes
 	if graph != nil {
 		r.bindBaseTablesLocked(graph)
 		e.graph = graph

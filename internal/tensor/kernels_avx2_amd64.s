@@ -1,0 +1,205 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernel tier. All kernels use separate VMULPS/VADDPS (never FMA): the
+// bitwise-equivalence contract with the scalar reference requires the product
+// to round to float32 before the add. Y15 is never touched (X15 is the
+// ABIInternal zero register) and every exit runs VZEROUPPER.
+
+// func saxpyAVX2Asm(alpha float32, x, y []float32)
+// y[i] += alpha * x[i] for i in [0, len(x)); the Go wrapper guarantees
+// len(y) >= len(x). 16 floats per iteration, then 8, then a scalar tail.
+TEXT ·saxpyAVX2Asm(SB), NOSPLIT, $0-56
+	MOVSS        alpha+0(FP), X0
+	VBROADCASTSS X0, Y0
+	MOVQ         x_base+8(FP), SI
+	MOVQ         x_len+16(FP), BX
+	MOVQ         y_base+32(FP), DI
+	XORQ         AX, AX              // element index
+
+	MOVQ BX, DX
+	ANDQ $15, DX                     // tail length after 16-wide blocks
+	SHRQ $4, BX                      // number of 16-wide blocks
+	JZ   tail8
+
+loop16:
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS 32(SI)(AX*4), Y2
+	VMULPS  Y0, Y1, Y1
+	VMULPS  Y0, Y2, Y2
+	VMOVUPS (DI)(AX*4), Y3
+	VMOVUPS 32(DI)(AX*4), Y4
+	VADDPS  Y3, Y1, Y1
+	VADDPS  Y4, Y2, Y2
+	VMOVUPS Y1, (DI)(AX*4)
+	VMOVUPS Y2, 32(DI)(AX*4)
+	ADDQ    $16, AX
+	DECQ    BX
+	JNZ     loop16
+
+tail8:
+	CMPQ    DX, $8
+	JL      tail
+	VMOVUPS (SI)(AX*4), Y1
+	VMULPS  Y0, Y1, Y1
+	VMOVUPS (DI)(AX*4), Y3
+	VADDPS  Y3, Y1, Y1
+	VMOVUPS Y1, (DI)(AX*4)
+	ADDQ    $8, AX
+	SUBQ    $8, DX
+
+tail:
+	TESTQ DX, DX
+	JZ    done
+
+tailloop:
+	VMOVSS (SI)(AX*4), X1
+	VMULSS X0, X1, X1
+	VMOVSS (DI)(AX*4), X2
+	VADDSS X2, X1, X1
+	VMOVSS X1, (DI)(AX*4)
+	INCQ   AX
+	DECQ   DX
+	JNZ    tailloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func saxpyI8AVX2Asm(alpha float32, q []int8, y []float32)
+// y[i] += alpha * float32(q[i]) for i in [0, len(q)); len(q) must be a
+// multiple of 8 (the Go wrapper handles the tail). VPMOVSXBD+VCVTDQ2PS is an
+// exact int8→float32 widening, so only the multiply and add round.
+TEXT ·saxpyI8AVX2Asm(SB), NOSPLIT, $0-56
+	MOVSS        alpha+0(FP), X0
+	VBROADCASTSS X0, Y0
+	MOVQ         q_base+8(FP), SI
+	MOVQ         q_len+16(FP), BX
+	MOVQ         y_base+32(FP), DI
+	SHRQ         $3, BX              // number of 8-wide blocks
+	JZ           done
+	XORQ         AX, AX              // element index
+
+loop8:
+	VPMOVSXBD (SI)(AX*1), Y1
+	VCVTDQ2PS Y1, Y1
+	VMULPS    Y0, Y1, Y1
+	VMOVUPS   (DI)(AX*4), Y2
+	VADDPS    Y2, Y1, Y1
+	VMOVUPS   Y1, (DI)(AX*4)
+	ADDQ      $8, AX
+	DECQ      BX
+	JNZ       loop8
+
+done:
+	VZEROUPPER
+	RET
+
+// func gemmTile8x8AVX2Asm(a []float32, ras, kas int, b []float32, ldb int, c []float32, ldc, kn int)
+// c[i*ldc+j] += Σ_k a[i*ras+k*kas]*b[k*ldb+j] for an 8x8 tile, k ascending.
+// The c tile lives in Y0–Y7 across the whole k loop; per k: one row load of
+// b, then per tile row a broadcast of the a element and an unfused
+// multiply/add. Strides are in elements and converted to bytes here.
+TEXT ·gemmTile8x8AVX2Asm(SB), NOSPLIT, $0-112
+	// Load the 8 c-tile rows into Y0..Y7.
+	MOVQ    c_base+72(FP), AX
+	MOVQ    ldc+96(FP), CX
+	SHLQ    $2, CX
+	VMOVUPS (AX), Y0
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y1
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y2
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y3
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y4
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y5
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y6
+	ADDQ    CX, AX
+	VMOVUPS (AX), Y7
+
+	// Per-row a pointers in R8..R13, R15, DI (R14 is the g register).
+	MOVQ a_base+0(FP), AX
+	MOVQ ras+24(FP), BX
+	SHLQ $2, BX
+	MOVQ AX, R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	LEAQ (R10)(BX*1), R11
+	LEAQ (R11)(BX*1), R12
+	LEAQ (R12)(BX*1), R13
+	LEAQ (R13)(BX*1), R15
+	LEAQ (R15)(BX*1), DI
+
+	MOVQ kas+32(FP), BX   // per-k step of the a pointers, bytes
+	SHLQ $2, BX
+	MOVQ b_base+40(FP), SI
+	MOVQ ldb+64(FP), CX   // per-k step of the b pointer, bytes
+	SHLQ $2, CX
+	MOVQ kn+104(FP), DX
+	TESTQ DX, DX
+	JZ   store
+
+loopk:
+	VMOVUPS      (SI), Y8
+	ADDQ         CX, SI
+	VBROADCASTSS (R8), Y9
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y0, Y0
+	ADDQ         BX, R8
+	VBROADCASTSS (R9), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y1, Y1
+	ADDQ         BX, R9
+	VBROADCASTSS (R10), Y11
+	VMULPS       Y8, Y11, Y11
+	VADDPS       Y11, Y2, Y2
+	ADDQ         BX, R10
+	VBROADCASTSS (R11), Y12
+	VMULPS       Y8, Y12, Y12
+	VADDPS       Y12, Y3, Y3
+	ADDQ         BX, R11
+	VBROADCASTSS (R12), Y13
+	VMULPS       Y8, Y13, Y13
+	VADDPS       Y13, Y4, Y4
+	ADDQ         BX, R12
+	VBROADCASTSS (R13), Y14
+	VMULPS       Y8, Y14, Y14
+	VADDPS       Y14, Y5, Y5
+	ADDQ         BX, R13
+	VBROADCASTSS (R15), Y9
+	VMULPS       Y8, Y9, Y9
+	VADDPS       Y9, Y6, Y6
+	ADDQ         BX, R15
+	VBROADCASTSS (DI), Y10
+	VMULPS       Y8, Y10, Y10
+	VADDPS       Y10, Y7, Y7
+	ADDQ         BX, DI
+	DECQ         DX
+	JNZ          loopk
+
+store:
+	MOVQ    c_base+72(FP), AX
+	MOVQ    ldc+96(FP), CX
+	SHLQ    $2, CX
+	VMOVUPS Y0, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y1, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y2, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y3, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y4, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y5, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y6, (AX)
+	ADDQ    CX, AX
+	VMOVUPS Y7, (AX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,198 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON kernel tier. Go's arm64 assembler has no mnemonics for the UNFUSED
+// vector FMUL/FADD (only the fused VFMLA, whose single rounding would break
+// the bitwise contract with the two-rounding scalar reference), nor for the
+// signed widenings SXTL/SCVTF — so those instructions are emitted as WORD
+// encodings through the macros below. Encodings follow the A64 ISA manual;
+// operands are vector register numbers, 4S arrangement throughout.
+
+// FMUL Vd.4S, Vn.4S, Vm.4S
+#define FMUL4S(m, n, d) WORD $(0x6E20DC00 | (m)<<16 | (n)<<5 | (d))
+
+// FADD Vd.4S, Vn.4S, Vm.4S
+#define FADD4S(m, n, d) WORD $(0x4E20D400 | (m)<<16 | (n)<<5 | (d))
+
+// SSHLL Vd.8H, Vn.8B, #0 (SXTL: sign-extend 8 int8 lanes to int16)
+#define SXTL8H(n, d) WORD $(0x0F08A400 | (n)<<5 | (d))
+
+// SSHLL Vd.4S, Vn.4H, #0 (SXTL: sign-extend the low 4 int16 lanes to int32)
+#define SXTL4S(n, d) WORD $(0x0F10A400 | (n)<<5 | (d))
+
+// SSHLL2 Vd.4S, Vn.8H, #0 (SXTL2: sign-extend the high 4 int16 lanes)
+#define SXTL2_4S(n, d) WORD $(0x4F10A400 | (n)<<5 | (d))
+
+// SCVTF Vd.4S, Vn.4S (exact int32→float32 for |q| <= 127)
+#define SCVTF4S(n, d) WORD $(0x4E21D800 | (n)<<5 | (d))
+
+// func saxpyNEONAsm(alpha float32, x, y []float32)
+// y[i] += alpha * x[i]; len(x) must be a nonzero multiple of 8 (the Go
+// wrapper handles the tail), len(y) >= len(x). Unfused multiply then add.
+TEXT ·saxpyNEONAsm(SB), NOSPLIT, $0-56
+	FMOVS alpha+0(FP), F0
+	VDUP  V0.S[0], V0.S4
+	MOVD  x_base+8(FP), R1
+	MOVD  x_len+16(FP), R3
+	MOVD  y_base+32(FP), R2
+	LSR   $3, R3, R3
+
+loop:
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	VLD1   (R2), [V4.S4, V5.S4]
+	FMUL4S(0, 2, 2)
+	FMUL4S(0, 3, 3)
+	FADD4S(2, 4, 4)
+	FADD4S(3, 5, 5)
+	VST1.P [V4.S4, V5.S4], 32(R2)
+	SUBS   $1, R3, R3
+	BNE    loop
+	RET
+
+// func saxpyI8NEONAsm(alpha float32, q []int8, y []float32)
+// y[i] += alpha * float32(q[i]); len(q) must be a nonzero multiple of 8.
+// SXTL/SXTL2 + SCVTF widen int8→float32 exactly; only mul and add round.
+TEXT ·saxpyI8NEONAsm(SB), NOSPLIT, $0-56
+	FMOVS alpha+0(FP), F0
+	VDUP  V0.S[0], V0.S4
+	MOVD  q_base+8(FP), R1
+	MOVD  q_len+16(FP), R3
+	MOVD  y_base+32(FP), R2
+	LSR   $3, R3, R3
+
+loop:
+	VLD1.P 8(R1), [V1.B8]
+	SXTL8H(1, 1)
+	SXTL4S(1, 2)
+	SXTL2_4S(1, 3)
+	SCVTF4S(2, 2)
+	SCVTF4S(3, 3)
+	FMUL4S(0, 2, 2)
+	FMUL4S(0, 3, 3)
+	VLD1   (R2), [V4.S4, V5.S4]
+	FADD4S(2, 4, 4)
+	FADD4S(3, 5, 5)
+	VST1.P [V4.S4, V5.S4], 32(R2)
+	SUBS   $1, R3, R3
+	BNE    loop
+	RET
+
+// func gemmTile8x8NEONAsm(a []float32, ras, kas int, b []float32, ldb int, c []float32, ldc, kn int)
+// c[i*ldc+j] += Σ_k a[i*ras+k*kas]*b[k*ldb+j] for an 8x8 tile, k ascending.
+// The c tile lives in V0–V15 (two quads per row), b's row in V16/V17, the
+// broadcast a element in V18, products in V19. R18/R27/R28 stay untouched.
+TEXT ·gemmTile8x8NEONAsm(SB), NOSPLIT, $0-112
+	// Load the 8 c-tile rows into V0..V15.
+	MOVD c_base+72(FP), R5
+	MOVD ldc+96(FP), R6
+	LSL  $2, R6, R6
+	MOVD R5, R7
+	VLD1 (R7), [V0.S4, V1.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V2.S4, V3.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V4.S4, V5.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V6.S4, V7.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V8.S4, V9.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V10.S4, V11.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V12.S4, V13.S4]
+	ADD  R6, R7, R7
+	VLD1 (R7), [V14.S4, V15.S4]
+
+	// Per-row a pointers in R8..R15.
+	MOVD a_base+0(FP), R8
+	MOVD ras+24(FP), R2
+	LSL  $2, R2, R2
+	ADD  R2, R8, R9
+	ADD  R2, R9, R10
+	ADD  R2, R10, R11
+	ADD  R2, R11, R12
+	ADD  R2, R12, R13
+	ADD  R2, R13, R14
+	ADD  R2, R14, R15
+
+	MOVD kas+32(FP), R2  // per-k step of the a pointers, bytes
+	LSL  $2, R2, R2
+	MOVD b_base+40(FP), R1
+	MOVD ldb+64(FP), R3  // per-k step of the b pointer, bytes
+	LSL  $2, R3, R3
+	MOVD kn+104(FP), R4
+	CBZ  R4, store
+
+loopk:
+	VLD1  (R1), [V16.S4, V17.S4]
+	ADD   R3, R1, R1
+	VLD1R (R8), [V18.S4]
+	ADD   R2, R8, R8
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 0, 0)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 1, 1)
+	VLD1R (R9), [V18.S4]
+	ADD   R2, R9, R9
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 2, 2)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 3, 3)
+	VLD1R (R10), [V18.S4]
+	ADD   R2, R10, R10
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 4, 4)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 5, 5)
+	VLD1R (R11), [V18.S4]
+	ADD   R2, R11, R11
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 6, 6)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 7, 7)
+	VLD1R (R12), [V18.S4]
+	ADD   R2, R12, R12
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 8, 8)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 9, 9)
+	VLD1R (R13), [V18.S4]
+	ADD   R2, R13, R13
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 10, 10)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 11, 11)
+	VLD1R (R14), [V18.S4]
+	ADD   R2, R14, R14
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 12, 12)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 13, 13)
+	VLD1R (R15), [V18.S4]
+	ADD   R2, R15, R15
+	FMUL4S(16, 18, 19)
+	FADD4S(19, 14, 14)
+	FMUL4S(17, 18, 19)
+	FADD4S(19, 15, 15)
+	SUBS  $1, R4, R4
+	BNE   loopk
+
+store:
+	MOVD R5, R7
+	VST1 [V0.S4, V1.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V2.S4, V3.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V4.S4, V5.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V6.S4, V7.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V8.S4, V9.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V10.S4, V11.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V12.S4, V13.S4], (R7)
+	ADD  R6, R7, R7
+	VST1 [V14.S4, V15.S4], (R7)
+	RET

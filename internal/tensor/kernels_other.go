@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package tensor
+
+// Other architectures have no asm tiers; the generic kernel (appended by
+// the portable init in kernels.go) is the only — and always-correct — tier.
+func archKernels() []kernel { return nil }

@@ -1,0 +1,152 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SSE additions to the mid tier (the Saxpy itself lives in saxpy_amd64.s).
+// SSE2-only: no PMOVSXBD (SSE4.1), so the int8 widening uses the classic
+// unpack-with-self + arithmetic-shift sign extension. X15 is never touched
+// (it is the ABIInternal zero register).
+
+// func saxpyI8SSEAsm(alpha float32, q []int8, y []float32)
+// y[i] += alpha * float32(q[i]) for i in [0, len(q)); len(q) must be a
+// multiple of 4 (the Go wrapper handles the tail).
+TEXT ·saxpyI8SSEAsm(SB), NOSPLIT, $0-56
+	MOVSS  alpha+0(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ   q_base+8(FP), SI
+	MOVQ   q_len+16(FP), BX
+	MOVQ   y_base+32(FP), DI
+	SHRQ   $2, BX                // number of 4-wide blocks
+	JZ     done
+	XORQ   AX, AX                // element index
+
+loop4:
+	MOVL      (SI)(AX*1), X1     // 4 int8 in the low dword
+	PUNPCKLBW X1, X1             // b0 b0 b1 b1 b2 b2 b3 b3 ...
+	PUNPCKLWL X1, X1             // b0 b0 b0 b0 b1 b1 b1 b1 ...
+	PSRAL     $24, X1            // arithmetic shift: sign-extended int32
+	CVTPL2PS  X1, X1             // exact int32→float32 (|q| <= 127)
+	MULPS     X0, X1
+	MOVUPS    (DI)(AX*4), X2
+	ADDPS     X1, X2
+	MOVUPS    X2, (DI)(AX*4)
+	ADDQ      $4, AX
+	DECQ      BX
+	JNZ       loop4
+
+done:
+	RET
+
+// func gemmTile8x4SSEAsm(a []float32, ras, kas int, b []float32, ldb int, c []float32, ldc, kn int)
+// c[i*ldc+j] += Σ_k a[i*ras+k*kas]*b[k*ldb+j] for an 8x4 tile, k ascending.
+// Same register discipline as the AVX2 8x8 tile, at 128 bits: the c tile
+// lives in X0–X7, b's row in X8, broadcasts in X9.
+TEXT ·gemmTile8x4SSEAsm(SB), NOSPLIT, $0-112
+	// Load the 8 c-tile rows into X0..X7.
+	MOVQ   c_base+72(FP), AX
+	MOVQ   ldc+96(FP), CX
+	SHLQ   $2, CX
+	MOVUPS (AX), X0
+	ADDQ   CX, AX
+	MOVUPS (AX), X1
+	ADDQ   CX, AX
+	MOVUPS (AX), X2
+	ADDQ   CX, AX
+	MOVUPS (AX), X3
+	ADDQ   CX, AX
+	MOVUPS (AX), X4
+	ADDQ   CX, AX
+	MOVUPS (AX), X5
+	ADDQ   CX, AX
+	MOVUPS (AX), X6
+	ADDQ   CX, AX
+	MOVUPS (AX), X7
+
+	// Per-row a pointers in R8..R13, R15, DI (R14 is the g register).
+	MOVQ a_base+0(FP), AX
+	MOVQ ras+24(FP), BX
+	SHLQ $2, BX
+	MOVQ AX, R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	LEAQ (R10)(BX*1), R11
+	LEAQ (R11)(BX*1), R12
+	LEAQ (R12)(BX*1), R13
+	LEAQ (R13)(BX*1), R15
+	LEAQ (R15)(BX*1), DI
+
+	MOVQ  kas+32(FP), BX  // per-k step of the a pointers, bytes
+	SHLQ  $2, BX
+	MOVQ  b_base+40(FP), SI
+	MOVQ  ldb+64(FP), CX  // per-k step of the b pointer, bytes
+	SHLQ  $2, CX
+	MOVQ  kn+104(FP), DX
+	TESTQ DX, DX
+	JZ    store
+
+loopk:
+	MOVUPS (SI), X8
+	ADDQ   CX, SI
+	MOVSS  (R8), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X0
+	ADDQ   BX, R8
+	MOVSS  (R9), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X1
+	ADDQ   BX, R9
+	MOVSS  (R10), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X2
+	ADDQ   BX, R10
+	MOVSS  (R11), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X3
+	ADDQ   BX, R11
+	MOVSS  (R12), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X4
+	ADDQ   BX, R12
+	MOVSS  (R13), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X5
+	ADDQ   BX, R13
+	MOVSS  (R15), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X6
+	ADDQ   BX, R15
+	MOVSS  (DI), X9
+	SHUFPS $0x00, X9, X9
+	MULPS  X8, X9
+	ADDPS  X9, X7
+	ADDQ   BX, DI
+	DECQ   DX
+	JNZ    loopk
+
+store:
+	MOVQ   c_base+72(FP), AX
+	MOVQ   ldc+96(FP), CX
+	SHLQ   $2, CX
+	MOVUPS X0, (AX)
+	ADDQ   CX, AX
+	MOVUPS X1, (AX)
+	ADDQ   CX, AX
+	MOVUPS X2, (AX)
+	ADDQ   CX, AX
+	MOVUPS X3, (AX)
+	ADDQ   CX, AX
+	MOVUPS X4, (AX)
+	ADDQ   CX, AX
+	MOVUPS X5, (AX)
+	ADDQ   CX, AX
+	MOVUPS X6, (AX)
+	ADDQ   CX, AX
+	MOVUPS X7, (AX)
+	RET

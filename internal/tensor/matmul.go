@@ -5,41 +5,73 @@ import "fmt"
 // matmulGrain is the minimum number of output rows per goroutine chunk.
 const matmulGrain = 8
 
+// gemmAccum is the shared blocked GEMM driver behind Mul, MulBT and
+// MulATAdd:
+//
+//	c[i*ldc+j] += Σ_{k<kn} a[i*ras + k*kas] * b[k*ldb + j]   (i<m, j<n)
+//
+// The generalized a strides let the same driver compute A·B (ras=lda,
+// kas=1) and Aᵀ·B (ras=1, kas=lda). Full tileM×tileN blocks go through the
+// dispatched register-tile microkernel, which keeps the output tile in
+// registers across the whole k loop instead of re-streaming the output row
+// per k the way the old Saxpy-loop GEMM did; ragged row/column edges fall
+// back to the dispatched Saxpy per (row, k). Both paths accumulate each
+// output element over ascending k with an unfused multiply/add per term, so
+// results are bitwise identical across tiers, worker splits and edge
+// placement. The driver is dense: exact-zero a elements contribute their
+// signed-zero product instead of being skipped, which is what makes the
+// register tile (and the int8 path) possible.
+func gemmAccum(m, n, kn int, a []float32, ras, kas int, b []float32, ldb int, c []float32, ldc int) {
+	if m <= 0 || n <= 0 || kn <= 0 {
+		return
+	}
+	tm, tn := gemmTileM, gemmTileN
+	tile := gemmTileImpl
+	sax := saxpyImpl
+	ParallelFor(m, matmulGrain, func(lo, hi int) {
+		i := lo
+		for ; i+tm <= hi; i += tm {
+			j := 0
+			for ; j+tn <= n; j += tn {
+				tile(a[i*ras:], ras, kas, b[j:], ldb, c[i*ldc+j:], ldc, kn)
+			}
+			if j < n { // ragged column edge of the tiled rows
+				for r := i; r < i+tm; r++ {
+					dst := c[r*ldc+j : r*ldc+n]
+					for k := 0; k < kn; k++ {
+						sax(a[r*ras+k*kas], b[k*ldb+j:k*ldb+n], dst)
+					}
+				}
+			}
+		}
+		for ; i < hi; i++ { // ragged row edge of this chunk
+			dst := c[i*ldc : i*ldc+n]
+			for k := 0; k < kn; k++ {
+				sax(a[i*ras+k*kas], b[k*ldb:k*ldb+n], dst)
+			}
+		}
+	})
+}
+
 // Mul computes dst = a·b where a is m×k and b is k×n. dst must be m×n and
-// must not alias a or b. The loops run in i-k-j order so the innermost
-// operation is a Saxpy over one row of b — vectorized (SSE on amd64) and,
-// being elementwise with a fixed k-ascending accumulation order, bitwise
-// identical to the scalar i-k-j loop it replaced.
+// must not alias a or b. See gemmAccum for the blocked kernel and the
+// bitwise accumulation contract.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %dx%d · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	n := b.Cols
-	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dstRow := dst.Data[i*n : (i+1)*n]
-			for x := range dstRow {
-				dstRow[x] = 0
-			}
-			aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for k, av := range aRow {
-				if av == 0 {
-					continue // masked weights make a genuinely sparse
-				}
-				Saxpy(av, b.Data[k*n:(k+1)*n], dstRow)
-			}
-		}
-	})
+	dst.Zero()
+	gemmAccum(a.Rows, b.Cols, a.Cols, a.Data, a.Cols, 1, b.Data, b.Cols, dst.Data, b.Cols)
 }
 
 // transposePool recycles the bᵀ scratch of MulBT across calls.
 var transposePool Pool
 
 // MulBT computes dst = a·bᵀ where a is m×k and b is n×k. dst must be m×n.
-// Rather than the dot-product inner loop (a horizontal reduction Saxpy
-// cannot express), b is transposed once into pooled scratch and the i-k-j
-// Saxpy kernel runs over it. Each output element still accumulates its k
+// Rather than a dot-product inner loop (a horizontal reduction the blocked
+// kernel cannot express), b is transposed once into pooled scratch and the
+// A·B driver runs over it. Each output element still accumulates its k
 // terms in ascending order, so results are bitwise identical to the
 // reduction form; the O(nk) transpose is amortized over the O(mnk) multiply.
 func MulBT(dst, a, b *Matrix) {
@@ -58,46 +90,21 @@ func MulBT(dst, a, b *Matrix) {
 			}
 		}
 	})
-	ParallelFor(a.Rows, matmulGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dstRow := dst.Data[i*n : (i+1)*n]
-			for x := range dstRow {
-				dstRow[x] = 0
-			}
-			aRow := a.Data[i*k : (i+1)*k]
-			for x, av := range aRow {
-				if av == 0 {
-					continue
-				}
-				Saxpy(av, bt.Data[x*n:(x+1)*n], dstRow)
-			}
-		}
-	})
+	dst.Zero()
+	gemmAccum(a.Rows, n, k, a.Data, k, 1, bt.Data, n, dst.Data, n)
 	transposePool.Put(bt)
 }
 
 // MulATAdd computes dst += aᵀ·b where a is m×k and b is m×n. dst must be k×n.
-// It is the gradient kernel dW += Xᵀ·dY, parallelized over the k output rows
-// so concurrent chunks never write the same cell; the inner loop is a Saxpy
-// over one row of b, bitwise identical to the scalar accumulation.
+// It is the gradient kernel dW += Xᵀ·dY; the driver's generalized strides
+// (ras=1, kas=lda) walk a's columns directly, so no transpose is needed and
+// concurrent row chunks never write the same cell.
 func MulATAdd(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MulATAdd shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	n := b.Cols
-	ParallelFor(a.Cols, matmulGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ { // output row i == input column i of a
-			dstRow := dst.Data[i*n : (i+1)*n]
-			for r := 0; r < a.Rows; r++ {
-				av := a.Data[r*a.Cols+i]
-				if av == 0 {
-					continue
-				}
-				Saxpy(av, b.Data[r*n:(r+1)*n], dstRow)
-			}
-		}
-	})
+	gemmAccum(a.Cols, b.Cols, a.Rows, a.Data, 1, a.Cols, b.Data, b.Cols, dst.Data, b.Cols)
 }
 
 // MulVec computes dst = a·x for a m×k matrix and k-vector x, writing into the

@@ -6,9 +6,10 @@ import (
 	"testing"
 )
 
-// Scalar reference GEMMs: the pre-Saxpy inner loops, kept verbatim so the
-// vectorized kernels can be checked for bitwise equality (same k-ascending
-// accumulation order per output element) and benchmarked against.
+// Scalar reference GEMMs: the dense k-ascending accumulation order every
+// dispatch tier must reproduce bit for bit. The explicit float32(...)
+// conversions pin the per-term two-rounding semantics (no compiler FMA
+// contraction), mirroring the generic kernel tier.
 
 func mulScalar(dst, a, b *Matrix) {
 	n := b.Cols
@@ -19,12 +20,9 @@ func mulScalar(dst, a, b *Matrix) {
 		}
 		aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		for k, av := range aRow {
-			if av == 0 {
-				continue
-			}
 			bRow := b.Data[k*n : (k+1)*n]
 			for j, bv := range bRow {
-				dstRow[j] += av * bv
+				dstRow[j] += float32(av * bv)
 			}
 		}
 	}
@@ -39,7 +37,7 @@ func mulBTScalar(dst, a, b *Matrix) {
 			bRow := b.Data[j*k : (j+1)*k]
 			var s float32
 			for x, av := range aRow {
-				s += av * bRow[x]
+				s += float32(av * bRow[x])
 			}
 			dstRow[j] = s
 		}
@@ -52,19 +50,17 @@ func mulATAddScalar(dst, a, b *Matrix) {
 		dstRow := dst.Data[i*n : (i+1)*n]
 		for r := 0; r < a.Rows; r++ {
 			av := a.Data[r*a.Cols+i]
-			if av == 0 {
-				continue
-			}
 			bRow := b.Data[r*n : (r+1)*n]
 			for j, bv := range bRow {
-				dstRow[j] += av * bv
+				dstRow[j] += float32(av * bv)
 			}
 		}
 	}
 }
 
 // randMats builds one m×k and one k×n (or n×k) operand pair with a sprinkle
-// of exact zeros, matching the masked-weight sparsity the kernels skip.
+// of exact zeros — the GEMMs are dense, so a zero must contribute its
+// signed-zero product exactly like the reference, not be skipped.
 func randMats(m, k, n int, transposedB bool, seed int64) (*Matrix, *Matrix) {
 	rng := rand.New(rand.NewSource(seed))
 	a := New(m, k)
@@ -78,7 +74,7 @@ func randMats(m, k, n int, transposedB bool, seed int64) (*Matrix, *Matrix) {
 	RandUniform(b, 1, rng)
 	for i := range a.Data {
 		if rng.Intn(5) == 0 {
-			a.Data[i] = 0 // exercise the zero-skip path
+			a.Data[i] = 0 // exercise exact-zero terms in the dense kernels
 		}
 	}
 	return a, b
@@ -95,8 +91,10 @@ func bitsEqual(t *testing.T, name string, got, want *Matrix) {
 	}
 }
 
-// TestGEMMsBitwiseMatchScalar: the Saxpy-based kernels must reproduce the
-// scalar reference bit for bit across ragged shapes (vector tails included).
+// TestGEMMsBitwiseMatchScalar: the blocked kernels must reproduce the
+// scalar reference bit for bit across ragged shapes (tile edges included)
+// under whichever tier is active (DUET_KERNEL selects it; kernels_test.go
+// additionally sweeps every tier explicitly).
 func TestGEMMsBitwiseMatchScalar(t *testing.T) {
 	// Parallel chunking is irrelevant to the comparison: rows are computed
 	// independently, so the worker split cannot change any output bit.

@@ -1,0 +1,46 @@
+package tensor
+
+import "math"
+
+// QuantizeI8S quantizes src into dst (len(dst) must be at least len(src))
+// using a single symmetric scale: dst[i] = round(src[i]/scale) clamped to
+// [-127, 127], with scale = maxAbs(src)/127 so the largest-magnitude element
+// maps to ±127 exactly. It returns the scale; src[i] ≈ scale*float32(dst[i])
+// with absolute error at most scale/2 per element. An all-zero (or empty)
+// src returns scale 0 with dst zeroed — SaxpyI8 with alpha 0·x is then a
+// no-op modulo signed zeros, matching the f32 plan's handling of zero spans.
+//
+// This is the per-span weight quantizer of the packed inference plan: one
+// scale per contiguous weight span keeps the dequantize fused into the
+// Saxpy alpha (alpha = activation*scale) at zero extra memory traffic.
+func QuantizeI8S(dst []int8, src []float32) float32 {
+	dst = dst[:len(src)]
+	var maxAbs float32
+	for _, v := range src {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := float64(127) / float64(maxAbs)
+	for i, v := range src {
+		r := math.Round(float64(v) * inv)
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		}
+		dst[i] = int8(r)
+	}
+	return scale
+}

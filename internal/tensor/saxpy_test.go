@@ -5,12 +5,13 @@ import (
 	"testing"
 )
 
-// saxpyRef is the scalar reference; the SIMD kernel must match it bitwise
+// saxpyRef is the scalar reference; every SIMD tier must match it bitwise
 // (the operation has no horizontal reduction, so lane width cannot change
-// rounding).
+// rounding; the explicit conversion pins the product's rounding so no
+// compiler may fuse it into the add).
 func saxpyRef(alpha float32, x, y []float32) {
 	for i, v := range x {
-		y[i] += alpha * v
+		y[i] += float32(alpha * v)
 	}
 }
 
