@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local and CI invocations stay identical.
 GO ?= go
 
-.PHONY: all build vet fmt test race bench perf perf-baseline serve test-generic cross
+.PHONY: all build vet fmt test race bench perf perf-baseline serve test-generic cross pack scale
 
 all: build vet fmt test
 
@@ -37,13 +37,24 @@ cross:
 	GOARCH=amd64 $(GO) build ./... && GOARCH=amd64 $(GO) vet ./...
 	GOARCH=arm64 $(GO) build ./... && GOARCH=arm64 $(GO) vet ./...
 
-# Fresh perf snapshot gated against the committed baseline (BENCH_PR8.json);
-# `make perf-baseline` refreshes the baseline itself after an intentional change.
+# Fresh perf snapshot gated against the committed baseline (BENCH_PR9.json);
+# `make perf-baseline` refreshes the baseline itself after an intentional
+# change — at the multi-million-row scale size, so the committed snapshot
+# carries the beyond-RAM columnar-store numbers.
 perf:
-	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR8.json -max-regress 0.30 -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR9.json -max-regress 0.30 -scale tiny
 
 perf-baseline:
-	$(GO) run ./cmd/duetbench -json BENCH_PR8.json -scale tiny
+	DUET_SCALE_ROWS=2000000 $(GO) run ./cmd/duetbench -json BENCH_PR9.json -scale tiny
+
+# Pack a 2M-row demo table into the .duetcol columnar format.
+pack:
+	$(GO) run ./cmd/duettrain -syn census -rows 2000000 -pack census.duetcol
+
+# The columnar-store experiment at multi-million-row size (mapped vs
+# in-memory training/join throughput, cold/warm latency, peak RSS).
+scale:
+	DUET_SCALE_ROWS=2000000 $(GO) run ./cmd/duetbench -exp scale -scale tiny
 
 serve:
 	$(GO) run ./cmd/duetserve -syn census -rows 20000

@@ -135,7 +135,7 @@ func TestManifestLifecycleBlock(t *testing.T) {
 	if err := assembleRegistry(reg, man, dir, dir, false, duet.ServeConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	lc, err := startLifecycle(reg, man, dir, nil)
+	lc, err := startLifecycle(reg, man, dir, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

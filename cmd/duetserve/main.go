@@ -162,7 +162,7 @@ func main() {
 			return
 		}
 		if man.Lifecycle != nil {
-			if lc, err = startLifecycle(reg, man, *modelDir, suite); err != nil {
+			if lc, err = startLifecycle(reg, man, filepath.Dir(*manifestPath), *modelDir, suite); err != nil {
 				fatal(err)
 			}
 			slog.Info("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle", "dir", *modelDir)
@@ -237,7 +237,16 @@ func parseLevel(s string) slog.Level {
 func registerSingle(reg *duet.Registry, csvPath, syn string, rows int, seed int64, modelPath string, train int, quant string) error {
 	var tbl *duet.Table
 	var name string
-	if csvPath != "" {
+	if strings.HasSuffix(csvPath, ".duetcol") {
+		s, err := duet.OpenColumnar(csvPath)
+		if err != nil {
+			return err
+		}
+		// The mapping lives for the process; the table reads through it.
+		name = strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
+		s.Table.Name = name
+		tbl = s.Table
+	} else if csvPath != "" {
 		f, err := os.Open(csvPath)
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"duet"
@@ -188,10 +189,15 @@ func (s *ServeSpec) config(base duet.ServeConfig) *duet.ServeConfig {
 	return &cfg
 }
 
-// ModelSpec declares one base-table model. The table comes from a CSV file
-// or a built-in synthetic generator. Weights come from the model file when
-// it exists; otherwise the model is trained in-process for TrainEpochs
-// (data-only) and, when a model path is set, saved back for next time.
+// ModelSpec declares one base-table model. The table comes from a CSV file,
+// a packed .duetcol columnar file (a "csv" path with that suffix is opened
+// through the memory-mapped column store instead of parsed, so base tables
+// larger than RAM serve off the page cache), or a built-in synthetic
+// generator. Weights come from the model file when it exists; otherwise the
+// model is trained in-process for TrainEpochs (data-only) and, when a model
+// path is set, saved back for next time. When lifecycle is enabled, a
+// .duetcol-backed model compacts its ingest tail back into the columnar file
+// on every retrain.
 type ModelSpec struct {
 	Name string `json:"name"`
 	CSV  string `json:"csv,omitempty"`
@@ -362,9 +368,32 @@ func loadManifest(path string) (*Manifest, error) {
 	return &m, nil
 }
 
+// colPath resolves the spec's table source to a .duetcol path, or "" when the
+// source is CSV or synthetic. It doubles as the lifecycle Pack target, so
+// retrains of a mapped table compact back into the same file.
+func (ms ModelSpec) colPath(baseDir string) string {
+	if !strings.HasSuffix(ms.CSV, ".duetcol") {
+		return ""
+	}
+	if filepath.IsAbs(ms.CSV) {
+		return ms.CSV
+	}
+	return filepath.Join(baseDir, ms.CSV)
+}
+
 // buildTable materializes the table of one model spec. Relative CSV paths
 // resolve against the manifest's directory.
 func (ms ModelSpec) buildTable(baseDir string) (*duet.Table, error) {
+	if col := ms.colPath(baseDir); col != "" {
+		s, err := duet.OpenColumnar(col)
+		if err != nil {
+			return nil, err
+		}
+		// The mapping stays open for the process lifetime; the table reads
+		// through it.
+		s.Table.Name = ms.Name
+		return s.Table, nil
+	}
 	switch {
 	case ms.CSV != "":
 		path := ms.CSV
@@ -541,22 +570,23 @@ func assembleRegistry(reg *duet.Registry, man *Manifest, manifestDir, modelDir s
 // the model directory. Legacy two-table join views are skipped — they have no
 // registered rebuild substrate; join-graph views (sampled or not) retrain
 // from their base tables.
-func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string, suite *duet.ObsSuite) (*duet.Lifecycle, error) {
+func startLifecycle(reg *duet.Registry, man *Manifest, manifestDir, modelDir string, suite *duet.ObsSuite) (*duet.Lifecycle, error) {
 	opts := duet.LifecycleOptions{Dir: modelDir, Log: suite.Logger()}
 	if suite != nil {
 		opts.Obs = suite.Metrics
 	}
 	lc := duet.NewLifecycle(reg, man.Lifecycle.policy(), opts)
-	manage := func(name string, large bool, epochs int) error {
+	manage := func(name, pack string, large bool, epochs int) error {
 		tc := duet.DefaultTrainConfig()
 		tc.Lambda = 0
 		if epochs > 0 {
 			tc.Epochs = epochs
 		}
-		return lc.Manage(name, duet.LifecycleManageOpts{Config: modelConfig(large), Train: tc})
+		return lc.Manage(name, duet.LifecycleManageOpts{Config: modelConfig(large), Train: tc, Pack: pack})
 	}
 	for _, ms := range man.Models {
-		if err := manage(ms.Name, ms.Large, epochsOrDefault(ms.TrainEpochs)); err != nil {
+		// A .duetcol-backed table compacts into its own file on retrain.
+		if err := manage(ms.Name, ms.colPath(manifestDir), ms.Large, epochsOrDefault(ms.TrainEpochs)); err != nil {
 			lc.Close()
 			return nil, err
 		}
@@ -566,7 +596,7 @@ func startLifecycle(reg *duet.Registry, man *Manifest, modelDir string, suite *d
 			slog.Warn("legacy two-table join views are not lifecycle-managed; skipping", "model", js.Name)
 			continue
 		}
-		if err := manage(js.Name, js.Large, epochsOrDefault(js.TrainEpochs)); err != nil {
+		if err := manage(js.Name, "", js.Large, epochsOrDefault(js.TrainEpochs)); err != nil {
 			lc.Close()
 			return nil, err
 		}

@@ -238,3 +238,58 @@ func TestManifestGraphValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestColumnarManifest packs a table into a .duetcol file, declares it as a
+// manifest model through the "csv" field, and checks the mapped table
+// assembles, serves, and resolves as the lifecycle Pack target.
+func TestColumnarManifest(t *testing.T) {
+	dir := t.TempDir()
+	tbl := duet.SynCensus(600, 9)
+	colPath := filepath.Join(dir, "census.duetcol")
+	if err := duet.PackTable(colPath, tbl); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "deploy.json")
+	man := `{
+	  "models": [{"name": "census", "csv": "census.duetcol", "train_epochs": 1}],
+	  "lifecycle": {"max_column_drift": 0.3, "min_appended": 32}
+	}`
+	if err := os.WriteFile(manPath, []byte(man), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Models[0].colPath(dir); got != colPath {
+		t.Fatalf("colPath = %q, want %q", got, colPath)
+	}
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: dir})
+	defer reg.Close()
+	if err := assembleRegistry(reg, m, dir, dir, false, duet.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	served, err := reg.Table("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.NumRows() != tbl.NumRows() || served.Name != "census" {
+		t.Fatalf("served table %s, want %d rows named census", served.Stats(), tbl.NumRows())
+	}
+	q, err := duet.ParseQuery(served, "age<=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := reg.Estimate(context.Background(), "census", q)
+	if err != nil || math.IsNaN(card) || card < 0 {
+		t.Fatalf("estimate over mapped table: %v, %v", card, err)
+	}
+	lc, err := startLifecycle(reg, m, dir, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if stats := lc.Stats(); len(stats) != 1 || stats[0].Model != "census" {
+		t.Fatalf("managed: %+v", stats)
+	}
+}

@@ -6,6 +6,14 @@
 //	duettrain -csv table.csv -model model.duet
 //	duettrain -syn census -rows 48842 -hybrid -epochs 20 -model census.duet
 //
+// Pack mode converts a table into the .duetcol columnar format — the
+// memory-mapped on-disk layout duetserve and later duettrain runs open
+// without decoding (a -csv argument ending in .duetcol is read through the
+// column store):
+//
+//	duettrain -syn census -rows 2000000 -pack census.duetcol
+//	duettrain -csv census.duetcol -model census.duet
+//
 // Join-view mode materializes the inner equi-join of two tables and trains
 // the model over the join result (the NeuroCard-style reduction duetserve's
 // registry routes join queries to):
@@ -60,6 +68,7 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "generate a training workload and train hybridly")
 	trainQ := flag.Int("trainq", 2000, "training workload size for -hybrid")
 	large := flag.Bool("large", false, "use the large MADE architecture (DMV-style)")
+	pack := flag.String("pack", "", "pack the input table into this .duetcol columnar file and exit (no training)")
 	// Join-view mode.
 	join := flag.Bool("join", false, "train over the join of several tables instead of one table")
 	leftCSV := flag.String("left-csv", "", "join mode: left CSV file")
@@ -78,6 +87,24 @@ func main() {
 	graphMode := *joinTables != "" || *joinEdges != ""
 	if err := validateJoinSample(*joinSample, *join, graphMode); err != nil {
 		fatal(err)
+	}
+	if *pack != "" {
+		if *join || graphMode {
+			fatal(fmt.Errorf("-pack applies to single base tables; materialize the join first and pack its CSV"))
+		}
+		tbl, err := loadTable(*csvPath, *syn, *rows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := duet.PackTable(*pack, tbl); err != nil {
+			fatal(err)
+		}
+		fi, err := os.Stat(*pack)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("packed %s: %s (%.2f MB on disk)\n", *pack, tbl.Stats(), float64(fi.Size())/1e6)
+		return
 	}
 	var tbl *duet.Table
 	var sampler *duet.JoinSampler
@@ -242,6 +269,15 @@ func buildJoinTable(leftCSV, leftSyn, leftCol, rightCSV, rightSyn, rightCol, nam
 }
 
 func loadTable(csvPath, syn string, rows int, seed int64) (*duet.Table, error) {
+	if strings.HasSuffix(csvPath, ".duetcol") {
+		// Columnar input: serve straight off the mapping. The store stays open
+		// for the process lifetime — the table reads through it.
+		s, err := duet.OpenColumnar(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return s.Table, nil
+	}
 	if csvPath != "" {
 		f, err := os.Open(csvPath)
 		if err != nil {

@@ -93,6 +93,7 @@ import (
 	"fmt"
 	"io"
 
+	"duet/internal/colstore"
 	"duet/internal/core"
 	"duet/internal/exec"
 	"duet/internal/lifecycle"
@@ -183,6 +184,25 @@ func LoadModel(r io.Reader, t *Table) (*Model, error) { return core.Load(r, t) }
 func LoadCSV(r io.Reader, name string, header bool) (*Table, error) {
 	return relation.LoadCSV(r, name, header)
 }
+
+// ColStore is an opened .duetcol columnar table file. Its Table field serves
+// every read through the file's memory mapping (dictionaries, code arrays,
+// pack-time histograms), so a base table larger than RAM pages in on demand
+// instead of being decoded up front. Close releases the mapping — only after
+// nothing references the Table anymore.
+type ColStore = colstore.Store
+
+// PackTable writes a table to path in the .duetcol columnar format:
+// width-minimal code arrays, dictionaries, and per-column histograms, 64-byte
+// aligned for in-place reinterpretation, checksummed, and installed atomically
+// (temp + rename). The duettrain -pack flag is the CLI entry point.
+func PackTable(path string, t *Table) error { return colstore.Write(path, t) }
+
+// OpenColumnar opens a .duetcol file written by PackTable. On unix the file is
+// memory-mapped read-only (set DUET_NO_MMAP=1 to force the portable read-once
+// fallback, which yields byte-identical tables); elsewhere the fallback is
+// automatic.
+func OpenColumnar(path string) (*ColStore, error) { return colstore.Open(path) }
 
 // SynDMV, SynKDD and SynCensus generate the synthetic stand-ins for the
 // paper's three evaluation datasets.

@@ -40,6 +40,10 @@ type Scale struct {
 	UAETrainSamples int
 	QueryBatch      int
 
+	// ScaleRows sizes the "scale" experiment's fact table (the columnar-store
+	// measurement); DUET_SCALE_ROWS overrides it for multi-million-row runs.
+	ScaleRows int
+
 	// SmallNets replaces the paper's per-dataset architectures with a small
 	// ResMADE so the tiny scale exercises every code path in seconds.
 	SmallNets bool
@@ -52,13 +56,13 @@ type Scale struct {
 var (
 	Tiny = Scale{Name: "tiny", DMVRows: 2000, KDDRows: 800, CensusRows: 1500,
 		TrainQueries: 200, TestQueries: 40, Epochs: 2, BatchSize: 128,
-		NaruSamples: 48, UAETrainSamples: 16, QueryBatch: 2, SmallNets: true}
+		NaruSamples: 48, UAETrainSamples: 16, QueryBatch: 2, ScaleRows: 12000, SmallNets: true}
 	Quick = Scale{Name: "quick", DMVRows: 15000, KDDRows: 4000, CensusRows: 8000,
 		TrainQueries: 1500, TestQueries: 150, Epochs: 6, BatchSize: 256,
-		NaruSamples: 200, UAETrainSamples: 64, QueryBatch: 4}
+		NaruSamples: 200, UAETrainSamples: 64, QueryBatch: 4, ScaleRows: 300000}
 	Full = Scale{Name: "full", DMVRows: 200000, KDDRows: 40000, CensusRows: 48842,
 		TrainQueries: 10000, TestQueries: 2000, Epochs: 25, BatchSize: 512,
-		NaruSamples: 1000, UAETrainSamples: 200, QueryBatch: 8, DMVBigNet: true}
+		NaruSamples: 1000, UAETrainSamples: 200, QueryBatch: 8, ScaleRows: 2000000, DMVBigNet: true}
 )
 
 // ScaleByName resolves tiny/quick/full.

@@ -47,7 +47,7 @@ func TestUnknownExperiment(t *testing.T) {
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "ablation-mu", "ablation-merge",
-		"ablation-enc", "ablation-stability", "joins", "retrain", "cluster", "obs", "kernels", "perf"}
+		"ablation-enc", "ablation-stability", "joins", "retrain", "cluster", "obs", "kernels", "scale", "perf"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -49,6 +49,10 @@ func Experiments() []Experiment {
 			_, err := Kernels(w, s)
 			return err
 		}},
+		{"scale", "Scale: mapped vs in-memory columnar store (train/join/RSS)", func(w io.Writer, s Scale) error {
+			_, err := ScaleStore(w, s)
+			return err
+		}},
 		{"perf", "Perf: serving throughput + q-error snapshot (see duetbench -json)", func(w io.Writer, s Scale) error {
 			_, err := Perf(w, s)
 			return err

@@ -81,6 +81,25 @@ type PerfReport struct {
 	PlanBytesF32   int     `json:"plan_bytes_f32"`
 	PlanBytesI8    int     `json:"plan_bytes_int8"`
 
+	// Columnar store at scale (the Scale experiment): the same fact+dim
+	// dataset through a mapped .duetcol store and as in-memory tables. The
+	// gates are within-run ratios — mapped training and join build within
+	// 1.3x of in-memory, peak RSS growth at least 3x lower when the run is
+	// >= 1M rows and actually mapped — so they hold at any dataset size the
+	// run was invoked with; cross-run trend checks apply only when baseline
+	// and current run used the same scale_rows.
+	ScaleRows           int     `json:"scale_rows"`
+	ScaleMapped         bool    `json:"scale_mapped"`
+	ScaleFileBytes      int64   `json:"scale_file_bytes"`
+	ScaleMappedTrainTPS float64 `json:"scale_mapped_train_tuples_per_s"`
+	ScaleInMemTrainTPS  float64 `json:"scale_inmem_train_tuples_per_s"`
+	ScaleMappedJoinTPS  float64 `json:"scale_mapped_join_tuples_per_s"`
+	ScaleInMemJoinTPS   float64 `json:"scale_inmem_join_tuples_per_s"`
+	ScaleColdEstimateUS float64 `json:"scale_cold_estimate_us"`
+	ScaleWarmEstimateUS float64 `json:"scale_warm_estimate_us"`
+	ScaleMappedPeakRSS  int64   `json:"scale_mapped_peak_rss_bytes"`
+	ScaleInMemPeakRSS   int64   `json:"scale_inmem_peak_rss_bytes"`
+
 	ElapsedS float64 `json:"elapsed_s"`
 }
 
@@ -211,6 +230,22 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	rep.QuantBatchQPS = kn.QuantBatchQPS
 	rep.PlanBytesF32 = kn.PlanBytesF32
 	rep.PlanBytesI8 = kn.PlanBytesI8
+
+	sc, err := ScaleStore(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rep.ScaleRows = sc.Rows
+	rep.ScaleMapped = sc.Mapped
+	rep.ScaleFileBytes = sc.FileBytes
+	rep.ScaleMappedTrainTPS = sc.MappedTrainTuplesPerS
+	rep.ScaleInMemTrainTPS = sc.InMemTrainTuplesPerS
+	rep.ScaleMappedJoinTPS = sc.MappedJoinTuplesPerS
+	rep.ScaleInMemJoinTPS = sc.InMemJoinTuplesPerS
+	rep.ScaleColdEstimateUS = sc.ColdEstimateUS
+	rep.ScaleWarmEstimateUS = sc.WarmEstimateUS
+	rep.ScaleMappedPeakRSS = sc.MappedPeakRSS
+	rep.ScaleInMemPeakRSS = sc.InMemPeakRSS
 
 	rep.ElapsedS = time.Since(start).Seconds()
 	fmt.Fprintf(w, "dataset=%s rows=%d train=%.0f tuples/s model=%.2f MB\n",

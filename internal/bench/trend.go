@@ -78,6 +78,38 @@ func (r *PerfReport) CompareBaseline(base *PerfReport, maxDrop float64) []string
 	// The quantization gates are absolute: int8 must stay within 5% of the
 	// f32 plan's median q-error and at least 3x smaller, whatever the
 	// baseline run measured. Skipped when the baseline predates the fields.
+	// The columnar-store gates are within-run ratios, so they are valid at
+	// whatever dataset size this run used (the CI perf job runs them at the
+	// small default; the scale-smoke job and committed baselines at multi-
+	// million rows). Skipped when the baseline predates the fields.
+	if base.ScaleRows > 0 && r.ScaleRows > 0 {
+		if r.ScaleInMemTrainTPS > 0 && r.ScaleMappedTrainTPS < r.ScaleInMemTrainTPS/1.3 {
+			regressions = append(regressions,
+				fmt.Sprintf("mapped training too slow: %.0f vs %.0f in-mem tuples/s is %.2fx (budget 1.3x)",
+					r.ScaleMappedTrainTPS, r.ScaleInMemTrainTPS, r.ScaleInMemTrainTPS/r.ScaleMappedTrainTPS))
+		}
+		if r.ScaleInMemJoinTPS > 0 && r.ScaleMappedJoinTPS < r.ScaleInMemJoinTPS/1.3 {
+			regressions = append(regressions,
+				fmt.Sprintf("mapped join build too slow: %.0f vs %.0f in-mem tuples/s is %.2fx (budget 1.3x)",
+					r.ScaleMappedJoinTPS, r.ScaleInMemJoinTPS, r.ScaleInMemJoinTPS/r.ScaleMappedJoinTPS))
+		}
+		// The memory win only shows above the runtime's fixed overheads, and
+		// only when the store actually mapped (DUET_NO_MMAP=1 loads the file
+		// into the heap, where parity — not a win — is the expectation).
+		if r.ScaleMapped && r.ScaleRows >= 1_000_000 && r.ScaleMappedPeakRSS > 0 && r.ScaleInMemPeakRSS > 0 &&
+			float64(r.ScaleInMemPeakRSS) < 3*float64(r.ScaleMappedPeakRSS) {
+			regressions = append(regressions,
+				fmt.Sprintf("mapped tables lost their memory win: in-mem peak %.1f MB is only %.2fx the mapped %.1f MB (budget 3x)",
+					float64(r.ScaleInMemPeakRSS)/1e6,
+					float64(r.ScaleInMemPeakRSS)/float64(r.ScaleMappedPeakRSS),
+					float64(r.ScaleMappedPeakRSS)/1e6))
+		}
+		// Absolute throughput only trends against a baseline of the same size.
+		if base.ScaleRows == r.ScaleRows {
+			check("scale mapped train tuples/s", r.ScaleMappedTrainTPS, base.ScaleMappedTrainTPS)
+			check("scale mapped join tuples/s", r.ScaleMappedJoinTPS, base.ScaleMappedJoinTPS)
+		}
+	}
 	if base.PlanBytesF32 > 0 {
 		if r.QuantQErrRatio > 1.05 {
 			regressions = append(regressions,

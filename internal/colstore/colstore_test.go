@@ -1,0 +1,220 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duet/internal/relation"
+)
+
+// testTable builds a table exercising every kind and two code widths: a
+// low-NDV string column (uint8 codes), int and float columns, and a high-NDV
+// int column that needs uint16 codes.
+func testTable(tb testing.TB, rows int) *relation.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	strs := make([]string, rows)
+	wide := make([]int64, rows)
+	for i := range ints {
+		ints[i] = int64(rng.Intn(40) - 20)
+		floats[i] = math.Round(rng.NormFloat64()*100) / 4
+		strs[i] = fmt.Sprintf("cat-%02d", rng.Intn(9))
+		wide[i] = int64(rng.Intn(1000))
+	}
+	return relation.NewTable("t", []*relation.Column{
+		relation.NewIntColumn("a", ints),
+		relation.NewFloatColumn("b", floats),
+		relation.NewStringColumn("c", strs),
+		relation.NewIntColumn("wide", wide),
+	})
+}
+
+// sameTable compares name, kinds, dictionaries, every code, and CodeHist.
+func sameTable(t *testing.T, want, got *relation.Table) {
+	t.Helper()
+	if got.Name != want.Name || got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape mismatch: got %s, want %s", got.Stats(), want.Stats())
+	}
+	for ci := range want.Cols {
+		wc, gc := want.Cols[ci], got.Cols[ci]
+		if gc.Name != wc.Name || gc.Kind != wc.Kind || gc.NumDistinct() != wc.NumDistinct() {
+			t.Fatalf("col %d header mismatch: %q/%v/%d vs %q/%v/%d",
+				ci, gc.Name, gc.Kind, gc.NumDistinct(), wc.Name, wc.Kind, wc.NumDistinct())
+		}
+		for v := 0; v < wc.NumDistinct(); v++ {
+			if gc.ValueString(int32(v)) != wc.ValueString(int32(v)) {
+				t.Fatalf("col %q dict[%d]: got %q, want %q", wc.Name, v, gc.ValueString(int32(v)), wc.ValueString(int32(v)))
+			}
+		}
+		for r := 0; r < wc.NumRows(); r++ {
+			if gc.Codes.At(r) != wc.Codes.At(r) {
+				t.Fatalf("col %q code[%d]: got %d, want %d", wc.Name, r, gc.Codes.At(r), wc.Codes.At(r))
+			}
+		}
+		wh, gh := want.CodeHist(ci), got.CodeHist(ci)
+		for v := range wh {
+			if wh[v] != gh[v] {
+				t.Fatalf("col %q hist[%d]: got %g, want %g", wc.Name, v, gh[v], wh[v])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tbl := testTable(t, 5000)
+	path := filepath.Join(t.TempDir(), "t.duetcol")
+	if err := Write(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sameTable(t, tbl, s.Table)
+	// The wide column crosses the uint8 boundary; make sure the width-minimal
+	// choice actually varied across columns.
+	if w := codeWidth(tbl.Cols[2].NumDistinct()); w != 1 {
+		t.Fatalf("string column should pack to 1-byte codes, got %d", w)
+	}
+	if w := codeWidth(tbl.Cols[3].NumDistinct()); w != 2 {
+		t.Fatalf("wide column should pack to 2-byte codes, got %d", w)
+	}
+}
+
+func TestMappedMatchesFallback(t *testing.T) {
+	tbl := testTable(t, 3000)
+	path := filepath.Join(t.TempDir(), "t.duetcol")
+	if err := Write(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	t.Setenv(NoMmapEnv, "1")
+	fallback, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fallback.Close()
+	if fallback.Mapped() {
+		t.Fatal("DUET_NO_MMAP=1 still produced a mapping")
+	}
+	sameTable(t, mapped.Table, fallback.Table)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := testTable(t, 2000)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(f, tbl); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := relation.LoadCSV(in, "t", true)
+	in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPath := filepath.Join(dir, "t.duetcol")
+	if err := Write(colPath, loaded); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sameTable(t, loaded, s.Table)
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	tbl := testTable(t, 1000)
+	path := filepath.Join(t.TempDir(), "t.duetcol")
+	if err := Write(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 1, len(data) / 2, headerSize + 3, 10} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(path)
+		if err == nil {
+			s.Close()
+			t.Fatalf("opened a file truncated to %d bytes", cut)
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "too short") {
+			t.Fatalf("truncation to %d bytes: error %q names neither truncation nor shortness", cut, err)
+		}
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	tbl := testTable(t, 1000)
+	path := filepath.Join(t.TempDir(), "t.duetcol")
+	if err := Write(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the checksummed header region (row count).
+	data[33] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err == nil {
+		s.Close()
+		t.Fatal("opened a file with a corrupted header")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption error %q does not mention the checksum", err)
+	}
+}
+
+func TestCorruptMetadataRejected(t *testing.T) {
+	tbl := testTable(t, 500)
+	path := filepath.Join(t.TempDir(), "t.duetcol")
+	if err := Write(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff // inside the trailing JSON metadata
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err == nil {
+		s.Close()
+		t.Fatal("opened a file with corrupted metadata")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption error %q does not mention the checksum", err)
+	}
+}

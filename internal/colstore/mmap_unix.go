@@ -1,0 +1,34 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and shared. The returned bytes stay valid
+// until the unmap func runs; the OS page cache backs them, so resident
+// memory tracks the pages actually touched rather than the file size.
+func mapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// A zero-length mmap is an error on some kernels; the header check in
+		// decode rejects the empty file with a better message.
+		return []byte{}, func() error { return nil }, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -192,7 +192,7 @@ func newLeaf(t *relation.Table, rows []int32, col int) *leaf {
 	counts := make([]float64, ndv)
 	codes := t.Cols[col].Codes
 	for _, r := range rows {
-		counts[codes[r]]++
+		counts[codes.At(int(r))]++
 	}
 	// Laplace smoothing keeps unseen values from zeroing products.
 	const alpha = 1e-3
@@ -226,7 +226,7 @@ func independentGroups(t *relation.Table, rows []int32, scope []int, threshold f
 		v := make([]float64, len(rows))
 		var sum float64
 		for j, r := range rows {
-			v[j] = float64(codes[r])
+			v[j] = float64(codes.At(int(r)))
 			sum += v[j]
 		}
 		mean := sum / float64(len(rows))
@@ -291,7 +291,7 @@ func cluster2(t *relation.Table, rows []int32, scope []int, rng *rand.Rand) (a, 
 			if ndv < 1 {
 				ndv = 1
 			}
-			dst[i] = float64(t.Cols[c].Codes[r]) / ndv
+			dst[i] = float64(t.Cols[c].Codes.At(int(r))) / ndv
 		}
 	}
 	c0 := make([]float64, k)

@@ -73,7 +73,7 @@ func TestCorrelatedColumnsBeatIndependence(t *testing.T) {
 	m := New(tbl, DefaultConfig())
 	q := workload.Query{Preds: []workload.Predicate{
 		{Col: 0, Op: workload.OpEq, Code: 0},
-		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes[indexWhere(tbl, 0, 0)]},
+		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes.At(indexWhere(tbl, 0, 0))},
 	}}
 	act := float64(exec.Cardinality(tbl, q))
 	est := m.EstimateCard(q)
@@ -84,7 +84,7 @@ func TestCorrelatedColumnsBeatIndependence(t *testing.T) {
 
 // indexWhere returns the first row where column col has code value.
 func indexWhere(t *relation.Table, col int, value int32) int {
-	for r, c := range t.Cols[col].Codes {
+	for r, c := range relation.DecodeCodes(t.Cols[col].Codes) {
 		if c == value {
 			return r
 		}

@@ -36,7 +36,7 @@ rows:
 		for _, term := range q.Terms {
 			ok := true
 			for _, p := range term.Preds {
-				if !p.Matches(t.Cols[p.Col].Codes[r]) {
+				if !p.Matches(t.Cols[p.Col].Codes.At(r)) {
 					ok = false
 					break
 				}

@@ -27,7 +27,7 @@ func Cardinality(t *relation.Table, q workload.Query) int64 {
 rows:
 	for r := 0; r < n; r++ {
 		for _, c := range cols {
-			v := t.Cols[c].Codes[r]
+			v := t.Cols[c].Codes.At(r)
 			if v < ivs[c].Lo || v > ivs[c].Hi {
 				continue rows
 			}

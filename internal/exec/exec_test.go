@@ -25,7 +25,7 @@ func bruteForce(t *relation.Table, q workload.Query) int64 {
 rows:
 	for r := 0; r < t.NumRows(); r++ {
 		for _, p := range q.Preds {
-			if !p.Matches(t.Cols[p.Col].Codes[r]) {
+			if !p.Matches(t.Cols[p.Col].Codes.At(r)) {
 				continue rows
 			}
 		}

@@ -63,7 +63,7 @@ func New(t *relation.Table, cfg Config) *Model {
 	key := make([]byte, n*4)
 	for r := 0; r < t.NumRows(); r++ {
 		for d, c := range t.Cols {
-			coord[d] = bucketOf(m.bounds[d], c.Codes[r])
+			coord[d] = bucketOf(m.bounds[d], c.Codes.At(r))
 		}
 		k := encodeKey(key, coord)
 		b := m.buckets[k]
@@ -94,10 +94,10 @@ func equiDepthBounds(c *relation.Column, nb int) []int32 {
 		return out
 	}
 	counts := make([]int64, ndv)
-	for _, code := range c.Codes {
-		counts[code]++
+	for r := 0; r < c.NumRows(); r++ {
+		counts[c.Codes.At(r)]++
 	}
-	total := int64(len(c.Codes))
+	total := int64(c.NumRows())
 	per := total / int64(nb)
 	if per < 1 {
 		per = 1

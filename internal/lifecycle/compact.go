@@ -1,0 +1,43 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"duet/internal/colstore"
+	"duet/internal/core"
+	"duet/internal/relation"
+)
+
+// compactBacking folds a grown backing table — a mapped .duetcol base plus the
+// in-memory append tail built up by Ingest — back into one columnar file, and
+// rebinds the freshly trained model onto the remapped table so the generation
+// installed by the swap serves directly off the new mapping.
+//
+// Write is atomic (temp + rename), and on POSIX the rename leaves the old
+// inode alive under any existing mapping: readers holding the previous
+// generation's table — including mg.backing's TailCodes, whose base points
+// into the old mapping — stay valid for as long as they are referenced. The
+// replaced mapping is deliberately never munmap'ed here; its pages are
+// file-backed and read-only, so once unreferenced the kernel reclaims them
+// under memory pressure, and what lingers is address space, not RSS.
+//
+// The rebind is a dictionary-level identity: compaction writes the backing
+// table's merged dictionaries verbatim, so the reopened table is
+// EncodingCompatible with the table the model just trained on, and CloneFor
+// transfers the weights without touching their values.
+func compactBacking(path string, m *core.Model, backing *relation.Table) (*core.Model, *colstore.Store, error) {
+	if err := colstore.Write(path, backing); err != nil {
+		return nil, nil, fmt.Errorf("lifecycle: compact %q: %w", path, err)
+	}
+	st, err := colstore.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lifecycle: compact %q: reopen: %w", path, err)
+	}
+	packed, err := m.CloneFor(st.Table)
+	if err != nil {
+		// Nothing references the new mapping yet, so closing it is safe.
+		st.Close()
+		return nil, nil, fmt.Errorf("lifecycle: compact %q: rebind: %w", path, err)
+	}
+	return packed, st, nil
+}

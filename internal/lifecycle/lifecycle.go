@@ -133,6 +133,15 @@ type ManageOpts struct {
 	// loss. Policy.TrainEpochs overrides the epoch count when set, and
 	// observed feedback joins Workload when Lambda > 0.
 	Train core.TrainConfig
+	// Pack, when set, is the .duetcol path the model's backing table
+	// compacts into after each successful retrain: the mapped base plus the
+	// in-memory append tail are written out as one new columnar file
+	// (atomically, temp + rename — the old inode stays valid under any
+	// existing mapping), reopened through colstore.Open, and the new
+	// generation is installed bound to the freshly mapped table. Ingest
+	// therefore never rewrites the base, and the tail's memory is reclaimed
+	// at every retrain. Only meaningful for base-table models.
+	Pack string
 }
 
 // RetrainKind names which retrain path ran.
@@ -189,6 +198,7 @@ type managed struct {
 	cfg   core.Config
 	train core.TrainConfig
 	graph *registry.JoinGraphSpec // non-nil for join-graph views (feedback-only)
+	pack  string                  // .duetcol path retrains compact the backing table into ("" = off)
 
 	// ingestMu serializes ingests of this model, so the copy-on-write append
 	// can run outside the supervisor lock without two batches racing on the
@@ -297,10 +307,14 @@ func (s *Supervisor) Manage(name string, opts ManageOpts) error {
 		opts.Train = core.DefaultTrainConfig()
 		opts.Train.Lambda = 0
 	}
+	if opts.Pack != "" && info.Graph != nil {
+		return fmt.Errorf("lifecycle: model %q is a graph view; Pack applies to base-table models", name)
+	}
 	mg := &managed{
 		name:    name,
 		cfg:     opts.Config,
 		train:   opts.Train,
+		pack:    opts.Pack,
 		table:   tbl,
 		backing: tbl,
 		fb:      newFBWindow(s.pol.FeedbackWindow),

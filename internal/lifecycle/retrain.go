@@ -94,6 +94,12 @@ func (s *Supervisor) retrain(mg *managed) {
 	if err == nil && s.opt.Dir != "" {
 		st.Path, err = saveVersioned(s.opt.Dir, mg.name, version, m, s.pol.KeepVersions)
 	}
+	if err == nil && mg.pack != "" {
+		// Compact the mapped base + append tail into a fresh .duetcol and
+		// rebind the new generation onto the reopened mapping, so the swap
+		// below installs model and compacted table together.
+		m, _, err = compactBacking(mg.pack, m, backing)
+	}
 	if err == nil {
 		t1 := time.Now()
 		err = s.reg.SwapModel(mg.name, m, registry.SwapOpts{Path: st.Path, Version: version})
@@ -127,6 +133,12 @@ func (s *Supervisor) retrain(mg *managed) {
 		// it — and the feedback window resets because its q-errors grade the
 		// replaced generation.
 		mg.table = m.Table()
+		if mg.pack != "" && mg.backing == backing {
+			// No rows arrived mid-retrain: rebase the live backing onto the
+			// compacted mapping, dropping the append tail (and the last
+			// lifecycle reference to the previous mapping's code arrays).
+			mg.backing = mg.table
+		}
 		if mg.graph != nil {
 			mg.backing = mg.table
 		} else {
@@ -177,7 +189,7 @@ func reprojectPending(snapshot, live *relation.Table) (pend [][]float64, pending
 	pending = live.NumRows() - snapshot.NumRows()
 	for r := snapshot.NumRows(); r < live.NumRows(); r++ {
 		for ci, c := range live.Cols {
-			raw := c.ValueString(c.Codes[r])
+			raw := c.ValueString(c.Codes.At(r))
 			code, exact, err := snapshot.Cols[ci].ProjectValue(raw)
 			if err != nil {
 				continue

@@ -663,6 +663,30 @@ func (r *Registry) bindBaseTablesLocked(graph *graphView) {
 	}
 }
 
+// rebindGraphViewsLocked replaces the routing state of every graph view that
+// references the named base table: a fresh graphView (empty exact-cardinality
+// anchor cache, fresh per-edge indexes) over the unchanged view table, with
+// base tables re-bound to the entries now serving. In-flight Resolves keep
+// the view object they pinned — consistent with the generation they started
+// against — and the next Resolve anchors on the swapped table. Rebuild cost
+// is O(view columns); no row data is touched. Callers hold r.mu for writing.
+func (r *Registry) rebindGraphViewsLocked(table string) {
+	for _, ge := range r.entries {
+		if ge.graph == nil || !ge.graph.tables[table] {
+			continue
+		}
+		fresh, err := newGraphView(ge.graph.spec, ge.graph.view)
+		if err != nil {
+			// The spec and view validated when the entry was added (and at
+			// every swap of the view itself); keep the stale anchors rather
+			// than dropping the view.
+			continue
+		}
+		r.bindBaseTablesLocked(fresh)
+		ge.graph = fresh
+	}
+}
+
 // SwapOpts refines SwapModel.
 type SwapOpts struct {
 	// Path, when set, is recorded as the entry's model file — its reload and
@@ -755,6 +779,14 @@ func (r *Registry) swapModel(name string, m *core.Model, opts SwapOpts) error {
 	if graph != nil {
 		r.bindBaseTablesLocked(graph)
 		e.graph = graph
+	}
+	if e.join == nil && e.graph == nil {
+		// A base table changed underneath the graph views that anchor on it:
+		// their cached exact-cardinality corrections, per-edge join indexes,
+		// and base-table bindings all describe the replaced table. Rebuild
+		// each affected view's routing state so the next Resolve recomputes
+		// anchors against the table now serving.
+		r.rebindGraphViewsLocked(nt.Name)
 	}
 	if opts.Path != "" {
 		e.path, e.modTime, e.modSize = opts.Path, modTime, modSize

@@ -42,9 +42,13 @@ func AppendRows(t *Table, rows [][]string) (*Table, error) {
 }
 
 // appendColumn parses column ci of every row by c's kind and returns a new
-// column holding old rows + appended rows.
+// column holding old rows + appended rows. In-memory columns (I32Codes) get
+// a fully materialized code array; any other backing — a mapped .duetcol
+// column or an existing tail — gets a TailCodes overlay instead, so the
+// (possibly beyond-RAM) base is never copied or rewritten by ingest.
 func appendColumn(c *Column, rows [][]string, ci int) (*Column, error) {
 	n := len(rows)
+	_, inMem := c.Codes.(I32Codes)
 	switch c.Kind {
 	case KindInt:
 		vals := make([]int64, n)
@@ -55,8 +59,12 @@ func appendColumn(c *Column, rows [][]string, ci int) (*Column, error) {
 			}
 			vals[i] = v
 		}
+		if !inMem {
+			dict, codes := appendTail(c, c.Ints, vals)
+			return &Column{Name: c.Name, Kind: KindInt, Ints: dict, Codes: codes}, nil
+		}
 		dict, codes := extendDict(c.Ints, c.Codes, vals)
-		return &Column{Name: c.Name, Kind: KindInt, Ints: dict, Codes: codes}, nil
+		return &Column{Name: c.Name, Kind: KindInt, Ints: dict, Codes: I32Codes(codes)}, nil
 	case KindFloat:
 		vals := make([]float64, n)
 		for i, row := range rows {
@@ -66,36 +74,99 @@ func appendColumn(c *Column, rows [][]string, ci int) (*Column, error) {
 			}
 			vals[i] = v
 		}
+		if !inMem {
+			dict, codes := appendTail(c, c.Floats, vals)
+			return &Column{Name: c.Name, Kind: KindFloat, Floats: dict, Codes: codes}, nil
+		}
 		dict, codes := extendDict(c.Floats, c.Codes, vals)
-		return &Column{Name: c.Name, Kind: KindFloat, Floats: dict, Codes: codes}, nil
+		return &Column{Name: c.Name, Kind: KindFloat, Floats: dict, Codes: I32Codes(codes)}, nil
 	default:
 		vals := make([]string, n)
 		for i, row := range rows {
 			vals[i] = row[ci]
 		}
+		if !inMem {
+			dict, codes := appendTail(c, c.Strs, vals)
+			return &Column{Name: c.Name, Kind: KindString, Strs: dict, Codes: codes}, nil
+		}
 		dict, codes := extendDict(c.Strs, c.Codes, vals)
-		return &Column{Name: c.Name, Kind: KindString, Strs: dict, Codes: codes}, nil
+		return &Column{Name: c.Name, Kind: KindString, Strs: dict, Codes: I32Codes(codes)}, nil
 	}
+}
+
+// appendTail extends a non-materializable column (mapped base, or base +
+// existing tail) with vals. Dictionary growth becomes a remap indirection
+// over the immutable base codes instead of a rewrite, and successive appends
+// flatten into one TailCodes (base + composed remap + merged tail) so read
+// cost never grows with ingest-batch count. The input column is never
+// mutated — readers holding the old table keep a consistent view.
+func appendTail[V cmp.Ordered](c *Column, dict []V, vals []V) ([]V, CodeArray) {
+	merged, remap := mergeFresh(dict, vals)
+	base := c.Codes
+	var baseRemap, oldTail []int32
+	if tc, ok := c.Codes.(*TailCodes); ok {
+		base, baseRemap, oldTail = tc.Base, tc.Remap, tc.Tail
+	}
+	newRemap := baseRemap
+	if remap != nil {
+		if baseRemap == nil {
+			newRemap = remap
+		} else {
+			newRemap = make([]int32, len(baseRemap))
+			for i, r := range baseRemap {
+				newRemap[i] = remap[r]
+			}
+		}
+	}
+	tail := make([]int32, 0, len(oldTail)+len(vals))
+	for _, code := range oldTail {
+		if remap != nil {
+			code = remap[code]
+		}
+		tail = append(tail, code)
+	}
+	for _, v := range vals {
+		j, _ := slices.BinarySearch(merged, v)
+		tail = append(tail, int32(j))
+	}
+	return merged, &TailCodes{Base: base, Remap: newRemap, Tail: tail}
 }
 
 // extendDict merges appended values into a sorted dictionary and produces the
 // full code column (old rows remapped + appended rows encoded). When no value
 // is fresh the input dictionary is returned as-is, so the caller can share it.
-func extendDict[V cmp.Ordered](dict []V, oldCodes []int32, vals []V) ([]V, []int32) {
+func extendDict[V cmp.Ordered](dict []V, oldCodes CodeArray, vals []V) ([]V, []int32) {
+	merged, remap := mergeFresh(dict, vals)
+	old := oldCodes.Len()
+	codes := make([]int32, 0, old+len(vals))
+	codes = oldCodes.AppendTo(codes, 0, old)
+	if remap != nil {
+		for k, oc := range codes {
+			codes[k] = remap[oc]
+		}
+	}
+	for _, v := range vals {
+		j, _ := slices.BinarySearch(merged, v)
+		codes = append(codes, int32(j))
+	}
+	return merged, codes
+}
+
+// mergeFresh merges any values absent from the sorted dictionary into it and
+// returns the merged dictionary plus the old-code → merged-code translation
+// (nil when nothing was fresh, in which case dict is returned as-is so the
+// caller can share it). It is the dictionary-growth primitive behind both the
+// materializing extendDict and the mapped-base append tail, which keeps the
+// remap as an indirection instead of rewriting base codes.
+func mergeFresh[V cmp.Ordered](dict []V, vals []V) ([]V, []int32) {
 	var fresh []V
 	for _, v := range vals {
 		if _, ok := slices.BinarySearch(dict, v); !ok {
 			fresh = append(fresh, v)
 		}
 	}
-	codes := make([]int32, len(oldCodes)+len(vals))
 	if len(fresh) == 0 {
-		copy(codes, oldCodes)
-		for i, v := range vals {
-			j, _ := slices.BinarySearch(dict, v)
-			codes[len(oldCodes)+i] = int32(j)
-		}
-		return dict, codes
+		return dict, nil
 	}
 	slices.Sort(fresh)
 	fresh = slices.Compact(fresh)
@@ -113,14 +184,7 @@ func extendDict[V cmp.Ordered](dict []V, oldCodes []int32, vals []V) ([]V, []int
 			j++
 		}
 	}
-	for k, oc := range oldCodes {
-		codes[k] = remap[oc]
-	}
-	for k, v := range vals {
-		j, _ := slices.BinarySearch(merged, v)
-		codes[len(oldCodes)+k] = int32(j)
-	}
-	return merged, codes
+	return merged, remap
 }
 
 // CodeHist returns column ci's normalized code-frequency histogram — the
@@ -130,9 +194,20 @@ func extendDict[V cmp.Ordered](dict []V, oldCodes []int32, vals []V) ([]V, []int
 func (t *Table) CodeHist(ci int) []float64 {
 	c := t.Cols[ci]
 	h := make([]float64, c.NumDistinct())
-	inv := 1 / float64(len(c.Codes))
-	for _, code := range c.Codes {
-		h[code] += inv
+	if c.hist != nil && len(c.hist) == len(h) {
+		// Mapped columns carry the histogram computed at pack time; returning
+		// a copy avoids faulting in the whole code array just to re-count it.
+		copy(h, c.hist)
+		return h
+	}
+	n := c.Codes.Len()
+	inv := 1 / float64(n)
+	var buf [4096]int32
+	for lo := 0; lo < n; lo += len(buf) {
+		hi := min(lo+len(buf), n)
+		for _, code := range c.Codes.AppendTo(buf[:0], lo, hi) {
+			h[code] += inv
+		}
 	}
 	return h
 }

@@ -18,7 +18,7 @@ func appendTestTable() *Table {
 func rowValues(t *Table, r int) []string {
 	out := make([]string, t.NumCols())
 	for i, c := range t.Cols {
-		out[i] = c.ValueString(c.Codes[r])
+		out[i] = c.ValueString(c.Codes.At(r))
 	}
 	return out
 }

@@ -1,0 +1,145 @@
+package relation
+
+// CodeArray is the read-only row storage behind Column.Codes: one dictionary
+// code per row. Abstracting the storage (instead of a concrete []int32) is
+// what lets a column be backed either by an ordinary in-memory slice
+// (I32Codes) or by a width-minimal array reinterpreted in place over an
+// mmap'd .duetcol file (U8Codes/U16Codes/U32Codes) — or by a mapped base
+// plus an in-memory append tail (TailCodes) — without any consumer of the
+// relation package changing. Implementations are immutable once published on
+// a Column; concurrent readers need no locking.
+type CodeArray interface {
+	// Len returns the number of rows.
+	Len() int
+	// At returns the code of row i.
+	At(i int) int32
+	// AppendTo appends the codes of rows [lo, hi) to dst as int32 and
+	// returns the extended slice. It is the bulk-decode path for loops that
+	// would otherwise pay one interface call per row.
+	AppendTo(dst []int32, lo, hi int) []int32
+}
+
+// I32Codes is the in-memory CodeArray: a plain []int32, the representation
+// every encoder in this package produces.
+type I32Codes []int32
+
+// Len returns the number of rows.
+func (s I32Codes) Len() int { return len(s) }
+
+// At returns the code of row i.
+func (s I32Codes) At(i int) int32 { return s[i] }
+
+// AppendTo appends rows [lo, hi) to dst.
+func (s I32Codes) AppendTo(dst []int32, lo, hi int) []int32 {
+	return append(dst, s[lo:hi]...)
+}
+
+// U8Codes is a width-1 CodeArray for columns with NDV <= 256, typically
+// reinterpreted in place over a mapped .duetcol section.
+type U8Codes []uint8
+
+// Len returns the number of rows.
+func (s U8Codes) Len() int { return len(s) }
+
+// At returns the code of row i.
+func (s U8Codes) At(i int) int32 { return int32(s[i]) }
+
+// AppendTo appends rows [lo, hi) to dst.
+func (s U8Codes) AppendTo(dst []int32, lo, hi int) []int32 {
+	for _, v := range s[lo:hi] {
+		dst = append(dst, int32(v))
+	}
+	return dst
+}
+
+// U16Codes is a width-2 CodeArray for columns with NDV <= 65536.
+type U16Codes []uint16
+
+// Len returns the number of rows.
+func (s U16Codes) Len() int { return len(s) }
+
+// At returns the code of row i.
+func (s U16Codes) At(i int) int32 { return int32(s[i]) }
+
+// AppendTo appends rows [lo, hi) to dst.
+func (s U16Codes) AppendTo(dst []int32, lo, hi int) []int32 {
+	for _, v := range s[lo:hi] {
+		dst = append(dst, int32(v))
+	}
+	return dst
+}
+
+// U32Codes is the width-4 CodeArray for columns whose NDV exceeds 65536.
+type U32Codes []uint32
+
+// Len returns the number of rows.
+func (s U32Codes) Len() int { return len(s) }
+
+// At returns the code of row i.
+func (s U32Codes) At(i int) int32 { return int32(s[i]) }
+
+// AppendTo appends rows [lo, hi) to dst.
+func (s U32Codes) AppendTo(dst []int32, lo, hi int) []int32 {
+	for _, v := range s[lo:hi] {
+		dst = append(dst, int32(v))
+	}
+	return dst
+}
+
+// TailCodes overlays an in-memory append tail on an immutable base (usually a
+// mapped column). Base rows come first; rows >= Base.Len() read from Tail.
+// When the appended values grew the dictionary, Remap translates base codes
+// into the merged code space without rewriting (or even paging in) the base
+// array; a nil Remap means the dictionary was unchanged. Tail codes are
+// already in the merged space.
+type TailCodes struct {
+	Base  CodeArray
+	Remap []int32 // nil when the base dictionary survived unchanged
+	Tail  []int32
+}
+
+// Len returns base rows plus tail rows.
+func (s *TailCodes) Len() int { return s.Base.Len() + len(s.Tail) }
+
+// At returns the code of row i in the merged code space.
+func (s *TailCodes) At(i int) int32 {
+	if n := s.Base.Len(); i >= n {
+		return s.Tail[i-n]
+	}
+	if s.Remap == nil {
+		return s.Base.At(i)
+	}
+	return s.Remap[s.Base.At(i)]
+}
+
+// AppendTo appends rows [lo, hi) to dst in the merged code space.
+func (s *TailCodes) AppendTo(dst []int32, lo, hi int) []int32 {
+	n := s.Base.Len()
+	if lo < n {
+		stop := min(hi, n)
+		if s.Remap == nil {
+			dst = s.Base.AppendTo(dst, lo, stop)
+		} else {
+			start := len(dst)
+			dst = s.Base.AppendTo(dst, lo, stop)
+			for i := start; i < len(dst); i++ {
+				dst[i] = s.Remap[dst[i]]
+			}
+		}
+		lo = stop
+	}
+	if hi > n {
+		dst = append(dst, s.Tail[lo-n:hi-n]...)
+	}
+	return dst
+}
+
+// DecodeCodes materializes an entire CodeArray as []int32. The fast path
+// returns an I32Codes' backing slice without copying; callers must treat the
+// result as read-only.
+func DecodeCodes(a CodeArray) []int32 {
+	if s, ok := a.(I32Codes); ok {
+		return s
+	}
+	return a.AppendTo(make([]int32, 0, a.Len()), 0, a.Len())
+}

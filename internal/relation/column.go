@@ -42,15 +42,27 @@ func (k Kind) String() string {
 
 // Column is a dictionary-encoded column. Exactly one of Ints, Floats, Strs
 // is populated (matching Kind) and holds the sorted distinct values; Codes
-// holds one index into the dictionary per row.
+// holds one index into the dictionary per row. Codes is an interface so the
+// row storage can live either in an ordinary Go slice or inside a mapped
+// .duetcol file (see CodeArray); in-memory encoders always produce I32Codes.
 type Column struct {
 	Name   string
 	Kind   Kind
 	Ints   []int64
 	Floats []float64
 	Strs   []string
-	Codes  []int32
+	Codes  CodeArray
+
+	// hist caches the normalized code-frequency histogram for columns whose
+	// backing file stores it (colstore), so Table.CodeHist doesn't scan a
+	// mapped code array and fault in every page. Nil for in-memory columns.
+	hist []float64
 }
+
+// SetHist installs a precomputed code-frequency histogram (len == NDV);
+// Table.CodeHist returns a copy of it instead of scanning the rows. The
+// colstore loader uses this for mapped columns.
+func (c *Column) SetHist(h []float64) { c.hist = h }
 
 // NumDistinct returns the dictionary size (NDV).
 func (c *Column) NumDistinct() int {
@@ -65,7 +77,7 @@ func (c *Column) NumDistinct() int {
 }
 
 // NumRows returns the number of rows.
-func (c *Column) NumRows() int { return len(c.Codes) }
+func (c *Column) NumRows() int { return c.Codes.Len() }
 
 // ValueString renders the distinct value at code as text.
 func (c *Column) ValueString(code int32) string {
@@ -126,7 +138,7 @@ func NewIntColumn(name string, values []int64) *Column {
 	for i, v := range values {
 		codes[i] = int32(sort.Search(len(distinct), func(k int) bool { return distinct[k] >= v }))
 	}
-	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: codes}
+	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: I32Codes(codes)}
 }
 
 // NewFloatColumn dictionary-encodes raw float64 values.
@@ -138,7 +150,7 @@ func NewFloatColumn(name string, values []float64) *Column {
 	for i, v := range values {
 		codes[i] = int32(sort.SearchFloat64s(distinct, v))
 	}
-	return &Column{Name: name, Kind: KindFloat, Floats: distinct, Codes: codes}
+	return &Column{Name: name, Kind: KindFloat, Floats: distinct, Codes: I32Codes(codes)}
 }
 
 // NewStringColumn dictionary-encodes raw string values, ordered
@@ -151,7 +163,7 @@ func NewStringColumn(name string, values []string) *Column {
 	for i, v := range values {
 		codes[i] = int32(sort.SearchStrings(distinct, v))
 	}
-	return &Column{Name: name, Kind: KindString, Strs: distinct, Codes: codes}
+	return &Column{Name: name, Kind: KindString, Strs: distinct, Codes: I32Codes(codes)}
 }
 
 // NewCodedColumn builds an int column directly from pre-computed codes over
@@ -176,7 +188,7 @@ func NewCodedColumn(name string, codes []int32, ndv int) *Column {
 	for i, c := range codes {
 		out[i] = remap[c]
 	}
-	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: out}
+	return &Column{Name: name, Kind: KindInt, Ints: distinct, Codes: I32Codes(out)}
 }
 
 func dedupInt64(s []int64) []int64 {

@@ -97,7 +97,7 @@ func WriteCSV(w io.Writer, t *Table) error {
 	rec := make([]string, len(t.Cols))
 	for r := 0; r < t.NumRows(); r++ {
 		for i, c := range t.Cols {
-			rec[i] = c.ValueString(c.Codes[r])
+			rec[i] = c.ValueString(c.Codes.At(r))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

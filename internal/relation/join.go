@@ -28,12 +28,13 @@ func EquiJoin(name string, left *Table, leftCol string, right *Table, rightCol s
 	// Hash the right side by raw value key.
 	rIndex := make(map[string][]int32, rc.NumDistinct())
 	for r := 0; r < right.NumRows(); r++ {
-		rIndex[rc.ValueString(rc.Codes[r])] = append(rIndex[rc.ValueString(rc.Codes[r])], int32(r))
+		k := rc.ValueString(rc.Codes.At(r))
+		rIndex[k] = append(rIndex[k], int32(r))
 	}
 	// Probe with the left side, collecting matched row pairs.
 	var lRows, rRows []int32
 	for l := 0; l < left.NumRows(); l++ {
-		for _, r := range rIndex[lc.ValueString(lc.Codes[l])] {
+		for _, r := range rIndex[lc.ValueString(lc.Codes.At(l))] {
 			lRows = append(lRows, int32(l))
 			rRows = append(rRows, r)
 		}
@@ -57,7 +58,7 @@ func EquiJoin(name string, left *Table, leftCol string, right *Table, rightCol s
 func gatherColumn(name string, src *Column, rows []int32) *Column {
 	used := make([]bool, src.NumDistinct())
 	for _, r := range rows {
-		used[src.Codes[r]] = true
+		used[src.Codes.At(int(r))] = true
 	}
 	remap := make([]int32, src.NumDistinct())
 	kept := 0
@@ -67,7 +68,8 @@ func gatherColumn(name string, src *Column, rows []int32) *Column {
 			kept++
 		}
 	}
-	out := &Column{Name: name, Kind: src.Kind, Codes: make([]int32, len(rows))}
+	codes := make([]int32, len(rows))
+	out := &Column{Name: name, Kind: src.Kind, Codes: I32Codes(codes)}
 	switch src.Kind {
 	case KindInt:
 		out.Ints = make([]int64, 0, kept)
@@ -92,7 +94,7 @@ func gatherColumn(name string, src *Column, rows []int32) *Column {
 		}
 	}
 	for i, r := range rows {
-		out.Codes[i] = remap[src.Codes[r]]
+		codes[i] = remap[src.Codes.At(int(r))]
 	}
 	return out
 }
@@ -108,13 +110,13 @@ func JoinCardinality(left *Table, leftCol string, right *Table, rightCol string)
 	}
 	lc, rc := left.Cols[li], right.Cols[ri]
 	lf := map[string]int64{}
-	for _, code := range lc.Codes {
-		lf[lc.ValueString(code)]++
+	for r := 0; r < lc.NumRows(); r++ {
+		lf[lc.ValueString(lc.Codes.At(r))]++
 	}
 	var total int64
 	rf := map[string]int64{}
-	for _, code := range rc.Codes {
-		rf[rc.ValueString(code)]++
+	for r := 0; r < rc.NumRows(); r++ {
+		rf[rc.ValueString(rc.Codes.At(r))]++
 	}
 	// Iterate the smaller map for the dot product.
 	small, big := lf, rf

@@ -33,8 +33,8 @@ func TestEquiJoinBasic(t *testing.T) {
 	gi := j.ColumnIndex("r_region")
 	found := false
 	for r := 0; r < j.NumRows(); r++ {
-		amount := j.Cols[ai].Ints[j.Cols[ai].Codes[r]]
-		region := j.Cols[gi].Ints[j.Cols[gi].Codes[r]]
+		amount := j.Cols[ai].Ints[j.Cols[ai].Codes.At(r)]
+		region := j.Cols[gi].Ints[j.Cols[gi].Codes.At(r)]
 		if amount == 20 && region == 8 {
 			found = true
 		}
@@ -108,7 +108,7 @@ func TestJoinedTableUsableForEstimation(t *testing.T) {
 				t.Fatalf("column %s dictionary not sorted", c.Name)
 			}
 		}
-		for _, code := range c.Codes {
+		for _, code := range DecodeCodes(c.Codes) {
 			if int(code) >= c.NumDistinct() || code < 0 {
 				t.Fatalf("column %s code %d out of range", c.Name, code)
 			}

@@ -229,7 +229,7 @@ func MultiJoinIndexed(name string, g *JoinGraph, ix *JoinIndexes) (*Table, error
 				next.appendCopy(cur, i)
 				continue
 			}
-			ccode := o.childCode(pc.Codes[p])
+			ccode := o.childCode(pc.Codes.At(int(p)))
 			if ccode < 0 {
 				next.appendCopy(cur, i)
 				continue
@@ -245,7 +245,7 @@ func MultiJoinIndexed(name string, g *JoinGraph, ix *JoinIndexes) (*Table, error
 		// row is dangling exactly when its key code translates to no parent
 		// code (dictionaries carry only values that occur in rows).
 		for r := 0; r < child.NumRows(); r++ {
-			if !o.dangling(cc.Codes[r]) {
+			if !o.dangling(cc.Codes.At(r)) {
 				continue
 			}
 			j := next.appendBlank()
@@ -375,14 +375,15 @@ func projectWithNull(name string, src *Column, st *joinRows, ti int, withNull bo
 		return nil, err
 	}
 	null := int32(src.NumDistinct())
-	out.Codes = make([]int32, st.rows())
-	for i := range out.Codes {
+	codes := make([]int32, st.rows())
+	for i := range codes {
 		if a := st.asgRow(i)[ti]; a < 0 {
-			out.Codes[i] = null
+			codes[i] = null
 		} else {
-			out.Codes[i] = src.Codes[a]
+			codes[i] = src.Codes.At(int(a))
 		}
 	}
+	out.Codes = I32Codes(codes)
 	return out, nil
 }
 
@@ -421,7 +422,7 @@ func MultiJoinCardinalityIndexed(g *JoinGraph, ix *JoinIndexes) (int64, error) {
 		w := int64(1)
 		t := g.Tables[ti]
 		for _, te := range children[ti] {
-			ccode := ors[te.child].childCode(t.Cols[te.parentCol].Codes[r])
+			ccode := ors[te.child].childCode(t.Cols[te.parentCol].Codes.At(r))
 			if ccode < 0 {
 				return 0
 			}
@@ -439,7 +440,7 @@ func MultiJoinCardinalityIndexed(g *JoinGraph, ix *JoinIndexes) (int64, error) {
 		m := make([]int64, cc.NumDistinct())
 		for r := 0; r < child.NumRows(); r++ {
 			if w := rowWeight(te.child, r); w != 0 {
-				m[cc.Codes[r]] += w
+				m[cc.Codes.At(r)] += w
 			}
 		}
 		weight[te.child] = m

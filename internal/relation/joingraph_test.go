@@ -41,17 +41,17 @@ func chainGraph(orders, customers, regions *Table) *JoinGraph {
 func bruteChainInner(orders, customers, regions *Table) int64 {
 	regByID := map[int64]int64{}
 	for r := 0; r < regions.NumRows(); r++ {
-		regByID[regions.Cols[0].Ints[regions.Cols[0].Codes[r]]]++
+		regByID[regions.Cols[0].Ints[regions.Cols[0].Codes.At(r)]]++
 	}
 	custByID := map[int64]int64{}
 	for r := 0; r < customers.NumRows(); r++ {
-		id := customers.Cols[0].Ints[customers.Cols[0].Codes[r]]
-		reg := customers.Cols[1].Ints[customers.Cols[1].Codes[r]]
+		id := customers.Cols[0].Ints[customers.Cols[0].Codes.At(r)]
+		reg := customers.Cols[1].Ints[customers.Cols[1].Codes.At(r)]
 		custByID[id] += regByID[reg]
 	}
 	var total int64
 	for r := 0; r < orders.NumRows(); r++ {
-		total += custByID[orders.Cols[0].Ints[orders.Cols[0].Codes[r]]]
+		total += custByID[orders.Cols[0].Ints[orders.Cols[0].Codes.At(r)]]
 	}
 	return total
 }
@@ -104,7 +104,7 @@ func TestMultiJoinChain(t *testing.T) {
 		all := true
 		for _, fi := range fanIdx {
 			c := joined.Cols[fi]
-			if c.Ints[c.Codes[r]] < 1 {
+			if c.Ints[c.Codes.At(r)] < 1 {
 				all = false
 				break
 			}
@@ -122,8 +122,8 @@ func TestMultiJoinChain(t *testing.T) {
 	seen := map[int64]int{}
 	foOrders := joined.Cols[fanIdx[0]]
 	for r := 0; r < joined.NumRows(); r++ {
-		if foOrders.Ints[foOrders.Codes[r]] >= 1 {
-			seen[amount.Ints[amount.Codes[r]]]++
+		if foOrders.Ints[foOrders.Codes.At(r)] >= 1 {
+			seen[amount.Ints[amount.Codes.At(r)]]++
 		}
 	}
 	for _, a := range []int64{6, 7, 8, 9} {
@@ -179,7 +179,7 @@ func TestMultiJoinStarMatchesDP(t *testing.T) {
 	for r := 0; r < joined.NumRows(); r++ {
 		all := true
 		for _, c := range fanCols {
-			if c.Ints[c.Codes[r]] < 1 {
+			if c.Ints[c.Codes.At(r)] < 1 {
 				all = false
 				break
 			}
@@ -257,7 +257,7 @@ func TestMultiJoinMatchesEquiJoinInner(t *testing.T) {
 	fc := foj.Cols[foj.ColumnIndex(FanoutColumn("customers"))]
 	var n int
 	for r := 0; r < foj.NumRows(); r++ {
-		if fo.Ints[fo.Codes[r]] >= 1 && fc.Ints[fc.Codes[r]] >= 1 {
+		if fo.Ints[fo.Codes.At(r)] >= 1 && fc.Ints[fc.Codes.At(r)] >= 1 {
 			n++
 		}
 	}

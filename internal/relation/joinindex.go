@@ -124,19 +124,29 @@ func dictCompare(a *Column, i int, b *Column, j int) int {
 // counting pass.
 func groupByCode(c *Column) (start, rows []int32) {
 	ndv := c.NumDistinct()
+	n := c.Codes.Len()
 	start = make([]int32, ndv+1)
-	for _, code := range c.Codes {
-		start[code+1]++
+	// Bulk-decode in chunks: on a mapped column this streams the code pages
+	// once per pass instead of paying an interface call per row.
+	var buf [4096]int32
+	for lo := 0; lo < n; lo += len(buf) {
+		for _, code := range c.Codes.AppendTo(buf[:0], lo, min(lo+len(buf), n)) {
+			start[code+1]++
+		}
 	}
 	for i := 0; i < ndv; i++ {
 		start[i+1] += start[i]
 	}
-	rows = make([]int32, len(c.Codes))
+	rows = make([]int32, n)
 	next := make([]int32, ndv)
 	copy(next, start[:ndv])
-	for r, code := range c.Codes {
-		rows[next[code]] = int32(r)
-		next[code]++
+	r := 0
+	for lo := 0; lo < n; lo += len(buf) {
+		for _, code := range c.Codes.AppendTo(buf[:0], lo, min(lo+len(buf), n)) {
+			rows[next[code]] = int32(r)
+			next[code]++
+			r++
+		}
 	}
 	return start, rows
 }

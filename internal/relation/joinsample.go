@@ -109,7 +109,7 @@ func NewJoinSampler(g *JoinGraph, cfg JoinSamplerConfig) (*JoinSampler, error) {
 		c := te.child
 		cc := g.Tables[c].Cols[te.childCol]
 		for r := 0; r < g.Tables[c].NumRows(); r++ {
-			if s.ors[c].dangling(cc.Codes[r]) {
+			if s.ors[c].dangling(cc.Codes.At(r)) {
 				s.dangling[c] = append(s.dangling[c], int32(r))
 			}
 		}
@@ -134,7 +134,7 @@ func (s *JoinSampler) rowF(ti, r int) float64 {
 	w := 1.0
 	t := s.g.Tables[ti]
 	for _, te := range s.children[ti] {
-		if cc := s.ors[te.child].childCode(t.Cols[te.parentCol].Codes[r]); cc >= 0 {
+		if cc := s.ors[te.child].childCode(t.Cols[te.parentCol].Codes.At(r)); cc >= 0 {
 			w *= s.s[te.child][cc]
 		}
 	}
@@ -220,7 +220,7 @@ func (s *JoinSampler) computeAbsent() {
 				}
 			}
 			rowMiss := func(r int) bool {
-				cc := s.ors[below].childCode(pcol.Codes[r])
+				cc := s.ors[below].childCode(pcol.Codes.At(r))
 				return cc < 0 || groupMiss[cc]
 			}
 			if v == 0 {
@@ -244,7 +244,7 @@ func (s *JoinSampler) computeAbsent() {
 			next := make([]bool, len(vside.start)-1)
 			for r := 0; r < t.NumRows(); r++ {
 				if rowMiss(r) {
-					next[vside.col.Codes[r]] = true
+					next[vside.col.Codes.At(r)] = true
 				}
 			}
 			groupMiss = next
@@ -409,12 +409,12 @@ func (s *JoinSampler) descend(ti, r int, dst []int32) {
 	t := s.g.Tables[ti]
 	base := s.colBase[ti]
 	for si, src := range t.Cols {
-		dst[base+si] = src.Codes[r]
+		dst[base+si] = src.Codes.At(r)
 	}
 	for _, te := range s.children[ti] {
 		c := te.child
 		o := s.ors[c]
-		cc := o.childCode(t.Cols[te.parentCol].Codes[r])
+		cc := o.childCode(t.Cols[te.parentCol].Codes.At(r))
 		if cc < 0 {
 			continue // NULL branch: the template already marks c's subtree absent
 		}
@@ -461,7 +461,7 @@ func (s *JoinSampler) SampleTable(name string, n int) (*Table, error) {
 	cols := make([]*Column, len(s.cols))
 	for c, proto := range s.cols {
 		cols[c] = &Column{Name: proto.Name, Kind: proto.Kind,
-			Ints: proto.Ints, Floats: proto.Floats, Strs: proto.Strs, Codes: codes[c]}
+			Ints: proto.Ints, Floats: proto.Floats, Strs: proto.Strs, Codes: I32Codes(codes[c])}
 	}
 	return NewTable(name, cols), nil
 }

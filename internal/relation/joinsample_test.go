@@ -17,7 +17,7 @@ func fojHistogram(view *Table) map[string]int {
 	row := make([]int32, view.NumCols())
 	for r := 0; r < view.NumRows(); r++ {
 		for c, col := range view.Cols {
-			row[c] = col.Codes[r]
+			row[c] = col.Codes.At(r)
 		}
 		h[fojKey(row)]++
 	}
@@ -161,18 +161,18 @@ func TestJoinSamplerUnbiasedChain(t *testing.T) {
 	cid, rid := col("customers_id"), col("regions_region_id")
 	sawDanglingOrder, sawDanglingRegion := false, false
 	for r := 0; r < tbl.NumRows(); r++ {
-		if fo.Ints[fo.Codes[r]] == 1 && cust.Ints[cust.Codes[r]] == 5 {
+		if fo.Ints[fo.Codes.At(r)] == 1 && cust.Ints[cust.Codes.At(r)] == 5 {
 			sawDanglingOrder = true
-			if fc.Ints[fc.Codes[r]] != 0 || fr.Ints[fr.Codes[r]] != 0 {
+			if fc.Ints[fc.Codes.At(r)] != 0 || fr.Ints[fr.Codes.At(r)] != 0 {
 				t.Fatalf("dangling order drawn with nonzero partner fanouts at row %d", r)
 			}
-			if int(cid.Codes[r]) != cid.NumDistinct()-1 {
+			if int(cid.Codes.At(r)) != cid.NumDistinct()-1 {
 				t.Fatalf("dangling order row %d lacks the customers_id NULL sentinel", r)
 			}
 		}
-		if fr.Ints[fr.Codes[r]] == 1 && rid.Ints[rid.Codes[r]] == 12 {
+		if fr.Ints[fr.Codes.At(r)] == 1 && rid.Ints[rid.Codes.At(r)] == 12 {
 			sawDanglingRegion = true
-			if fo.Ints[fo.Codes[r]] != 0 || fc.Ints[fc.Codes[r]] != 0 {
+			if fo.Ints[fo.Codes.At(r)] != 0 || fc.Ints[fc.Codes.At(r)] != 0 {
 				t.Fatalf("dangling region drawn with nonzero partner fanouts at row %d", r)
 			}
 		}
@@ -329,7 +329,7 @@ func TestJoinIndexesShared(t *testing.T) {
 	}
 	for c := range fresh.Cols {
 		for r := 0; r < fresh.NumRows(); r++ {
-			if fresh.Cols[c].Codes[r] != cached.Cols[c].Codes[r] {
+			if fresh.Cols[c].Codes.At(r) != cached.Cols[c].Codes.At(r) {
 				t.Fatalf("indexed MultiJoin differs at col %d row %d", c, r)
 			}
 		}

@@ -20,7 +20,7 @@ func TestIntColumnDictionary(t *testing.T) {
 	}
 	// Codes decode back to original values.
 	orig := []int64{5, 3, 5, 9, 3, 3}
-	for i, code := range c.Codes {
+	for i, code := range DecodeCodes(c.Codes) {
 		if c.Ints[code] != orig[i] {
 			t.Fatalf("row %d decodes to %d want %d", i, c.Ints[code], orig[i])
 		}
@@ -33,7 +33,7 @@ func TestDictionaryRoundtripProperty(t *testing.T) {
 			return true
 		}
 		c := NewIntColumn("x", vals)
-		for i, code := range c.Codes {
+		for i, code := range DecodeCodes(c.Codes) {
 			if c.Ints[code] != vals[i] {
 				return false
 			}
@@ -60,7 +60,7 @@ func TestFloatAndStringColumns(t *testing.T) {
 	if sc.NumDistinct() != 3 || sc.Strs[0] != "a" {
 		t.Fatalf("string dict %v", sc.Strs)
 	}
-	if sc.ValueString(sc.Codes[0]) != "b" {
+	if sc.ValueString(sc.Codes.At(0)) != "b" {
 		t.Fatal("ValueString mismatch")
 	}
 }
@@ -93,7 +93,7 @@ func TestNewCodedColumnCompacts(t *testing.T) {
 	if c.Ints[0] != 0 || c.Ints[1] != 5 {
 		t.Fatalf("dict=%v", c.Ints)
 	}
-	if c.Codes[0] != 1 || c.Codes[1] != 0 {
+	if c.Codes.At(0) != 1 || c.Codes.At(1) != 0 {
 		t.Fatalf("codes=%v", c.Codes)
 	}
 }
@@ -154,8 +154,8 @@ func TestCSVRoundtrip(t *testing.T) {
 	}
 	for ci := range tbl.Cols {
 		for r := 0; r < 3; r++ {
-			a := tbl.Cols[ci].ValueString(tbl.Cols[ci].Codes[r])
-			b := tbl2.Cols[ci].ValueString(tbl2.Cols[ci].Codes[r])
+			a := tbl.Cols[ci].ValueString(tbl.Cols[ci].Codes.At(r))
+			b := tbl2.Cols[ci].ValueString(tbl2.Cols[ci].Codes.At(r))
 			if a != b {
 				t.Fatalf("col %d row %d: %q vs %q", ci, r, a, b)
 			}
@@ -180,8 +180,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	t1 := Generate(cfg)
 	t2 := Generate(cfg)
 	for ci := range t1.Cols {
-		for r := range t1.Cols[ci].Codes {
-			if t1.Cols[ci].Codes[r] != t2.Cols[ci].Codes[r] {
+		for r := 0; r < t1.Cols[ci].NumRows(); r++ {
+			if t1.Cols[ci].Codes.At(r) != t2.Cols[ci].Codes.At(r) {
 				t.Fatal("generation is not deterministic")
 			}
 		}
@@ -196,8 +196,8 @@ func TestGenerateCorrelation(t *testing.T) {
 	}})
 	seen := map[int32]int32{}
 	for r := 0; r < tbl.NumRows(); r++ {
-		p := tbl.Cols[0].Codes[r]
-		c := tbl.Cols[1].Codes[r]
+		p := tbl.Cols[0].Codes.At(r)
+		c := tbl.Cols[1].Codes.At(r)
 		if prev, ok := seen[p]; ok && prev != c {
 			t.Fatalf("child not functional in parent: p=%d -> {%d,%d}", p, prev, c)
 		}
@@ -238,7 +238,7 @@ func TestZipfSkewShowsUp(t *testing.T) {
 		{Name: "z", NDV: 50, Skew: 2.0, Parent: -1},
 	}})
 	counts := make([]int, 50)
-	for _, code := range tbl.Cols[0].Codes {
+	for _, code := range DecodeCodes(tbl.Cols[0].Codes) {
 		counts[tbl.Cols[0].Ints[code]]++
 	}
 	if counts[0] < 5*counts[10] {

@@ -35,7 +35,7 @@ func (t *Table) RowCodes(r int, dst []int32) []int32 {
 		dst = make([]int32, len(t.Cols))
 	}
 	for i, c := range t.Cols {
-		dst[i] = c.Codes[r]
+		dst[i] = c.Codes.At(r)
 	}
 	return dst
 }

@@ -33,7 +33,7 @@ func NewSampler(t *relation.Table, frac float64, seed int64) *Sampler {
 		col := t.Cols[c].Codes
 		s.codes[c] = make([]int32, n)
 		for i, r := range idx {
-			s.codes[c][i] = col[r]
+			s.codes[c][i] = col.At(r)
 		}
 	}
 	return s
@@ -79,8 +79,8 @@ func NewIndep(t *relation.Table) *Indep {
 	n := float64(t.NumRows())
 	for c, col := range t.Cols {
 		counts := make([]float64, col.NumDistinct())
-		for _, code := range col.Codes {
-			counts[code]++
+		for r := 0; r < col.NumRows(); r++ {
+			counts[col.Codes.At(r)]++
 		}
 		pre := make([]float64, col.NumDistinct()+1)
 		for i, cnt := range counts {

@@ -82,13 +82,13 @@ func TestIndepUnderestimatesCorrelation(t *testing.T) {
 	e := NewIndep(tbl)
 	var r int
 	for r = 0; r < tbl.NumRows(); r++ {
-		if tbl.Cols[0].Codes[r] == 0 {
+		if tbl.Cols[0].Codes.At(r) == 0 {
 			break
 		}
 	}
 	q := workload.Query{Preds: []workload.Predicate{
 		{Col: 0, Op: workload.OpEq, Code: 0},
-		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes[r]},
+		{Col: 1, Op: workload.OpEq, Code: tbl.Cols[1].Codes.At(r)},
 	}}
 	act := float64(exec.Cardinality(tbl, q))
 	est := e.EstimateCard(q)

@@ -20,7 +20,9 @@ const matmulGrain = 8
 // results are bitwise identical across tiers, worker splits and edge
 // placement. The driver is dense: exact-zero a elements contribute their
 // signed-zero product instead of being skipped, which is what makes the
-// register tile (and the int8 path) possible.
+// register tile (and the int8 path) possible. The one exception lives in Mul:
+// its m == 1 inference shape skips zero activations (mulRowSkipZero), which
+// is provably bit-identical there because the accumulator starts at +0.
 func gemmAccum(m, n, kn int, a []float32, ras, kas int, b []float32, ldb int, c []float32, ldc int) {
 	if m <= 0 || n <= 0 || kn <= 0 {
 		return
@@ -56,13 +58,41 @@ func gemmAccum(m, n, kn int, a []float32, ras, kas int, b []float32, ldb int, c 
 // Mul computes dst = a·b where a is m×k and b is k×n. dst must be m×n and
 // must not alias a or b. See gemmAccum for the blocked kernel and the
 // bitwise accumulation contract.
+//
+// At m == 1 — the unbatched inference shape, where MPSN predicate embeddings
+// make the activation row mostly exact zeros — the product runs through
+// mulRowSkipZero, which skips zero activations instead of streaming their
+// signed-zero products. The skip is bitwise identical to the dense driver for
+// finite weights: each output element's accumulator starts at +0 (dst.Zero())
+// and round-to-nearest addition can never turn it into -0 (x + (-x) = +0, and
+// +0 + ±0 = +0), so adding a skipped term's ±0 product would have been the
+// identity anyway. Only a non-finite weight (0·Inf = NaN) could tell the
+// difference, and a model with those is already broken.
 func Mul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %dx%d · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	dst.Zero()
+	if a.Rows == 1 {
+		mulRowSkipZero(dst.Data, a.Data, b.Data, b.Cols)
+		return
+	}
 	gemmAccum(a.Rows, b.Cols, a.Cols, a.Data, a.Cols, 1, b.Data, b.Cols, dst.Data, b.Cols)
+}
+
+// mulRowSkipZero computes the batch-1 row product dst += a·b, skipping
+// exact-zero activations (see Mul for why the skip cannot change any output
+// bit). Nonzero terms accumulate over ascending k through the dispatched
+// Saxpy, exactly like the dense driver's ragged-row path, so the two paths
+// agree bit for bit and across kernel tiers.
+func mulRowSkipZero(dst, a []float32, b []float32, n int) {
+	sax := saxpyImpl
+	for k, av := range a {
+		if av != 0 {
+			sax(av, b[k*n:k*n+n], dst)
+		}
+	}
 }
 
 // transposePool recycles the bᵀ scratch of MulBT across calls.

@@ -186,3 +186,38 @@ func BenchmarkTrainGEMMMulATAddScalar(bn *testing.B) {
 		mulATAddScalar(dw, x, dy)
 	}
 }
+
+// TestMulBatch1SkipZeroBitwise pins the batch-1 zero-activation skip: a
+// 1×k row that is mostly exact zeros (the MPSN predicate-embedding shape)
+// must multiply bitwise identically to both the scalar reference and the
+// dense driver it bypasses, across every kernel tier, including signed-zero
+// activations and k values with no zeros at all.
+func TestMulBatch1SkipZeroBitwise(t *testing.T) {
+	withTier(t, func(t *testing.T, tier string) {
+		for _, sh := range []struct {
+			k, n     int
+			zeroFrac int // a elements zeroed with probability 1/zeroFrac (0 = none)
+		}{
+			{1, 1, 0}, {64, 96, 2}, {128, 200, 1}, {257, 33, 3}, {96, 128, 0},
+		} {
+			rng := rand.New(rand.NewSource(int64(sh.k*100 + sh.n)))
+			a, b := New(1, sh.k), New(sh.k, sh.n)
+			RandUniform(a, 1, rng)
+			RandUniform(b, 1, rng)
+			for i := range a.Data {
+				if sh.zeroFrac > 0 && rng.Intn(sh.zeroFrac) == 0 {
+					a.Data[i] = 0
+					if rng.Intn(2) == 0 {
+						a.Data[i] = float32(math.Copysign(0, -1)) // -0 must be skipped too
+					}
+				}
+			}
+			got, want, dense := New(1, sh.n), New(1, sh.n), New(1, sh.n)
+			Mul(got, a, b)
+			mulScalar(want, a, b)
+			bitsEqual(t, "Mul(1×k)", got, want)
+			gemmAccum(1, sh.n, sh.k, a.Data, sh.k, 1, b.Data, sh.n, dense.Data, sh.n)
+			bitsEqual(t, "Mul(1×k) vs dense driver", got, dense)
+		}
+	})
+}

@@ -23,15 +23,15 @@ func rawMatches(t *relation.Table, row int, col string, op Op, lit string) bool 
 	c := t.Cols[ci]
 	switch c.Kind {
 	case relation.KindInt:
-		v := c.Ints[c.Codes[row]]
+		v := c.Ints[c.Codes.At(row)]
 		x, _ := strconv.ParseInt(lit, 10, 64)
 		return cmpInt(v, x, op)
 	case relation.KindFloat:
-		v := c.Floats[c.Codes[row]]
+		v := c.Floats[c.Codes.At(row)]
 		x, _ := strconv.ParseFloat(lit, 64)
 		return cmpFloat(v, x, op)
 	default:
-		v := c.Strs[c.Codes[row]]
+		v := c.Strs[c.Codes.At(row)]
 		return cmpString(v, lit, op)
 	}
 }
@@ -101,7 +101,7 @@ func TestParsePredicateSemantics(t *testing.T) {
 				}
 				p := q.Preds[0]
 				for row := 0; row < tbl.NumRows(); row++ {
-					got := p.Matches(tbl.Cols[p.Col].Codes[row])
+					got := p.Matches(tbl.Cols[p.Col].Codes.At(row))
 					want := rawMatches(tbl, row, col, op, lit)
 					if got != want {
 						t.Fatalf("%s %s %s row %d: parsed %v raw %v", col, op, lit, row, got, want)
@@ -131,7 +131,7 @@ func TestParseStringPredicates(t *testing.T) {
 		count := 0
 		p := q.Preds[0]
 		for row := 0; row < tbl.NumRows(); row++ {
-			if p.Matches(tbl.Cols[p.Col].Codes[row]) {
+			if p.Matches(tbl.Cols[p.Col].Codes.At(row)) {
 				count++
 			}
 		}
@@ -320,7 +320,7 @@ func TestParseRoundtripProperty(t *testing.T) {
 		}
 		p := q.Preds[0]
 		for row := 0; row < tbl.NumRows(); row++ {
-			if p.Matches(tbl.Cols[0].Codes[row]) != rawMatches(tbl, row, "age", op, strconv.Itoa(int(v))) {
+			if p.Matches(tbl.Cols[0].Codes.At(row)) != rawMatches(tbl, row, "age", op, strconv.Itoa(int(v))) {
 				return false
 			}
 		}

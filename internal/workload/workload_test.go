@@ -139,7 +139,7 @@ func TestGenerateNonEmptyGuaranteeForNonStrictOps(t *testing.T) {
 		for r := 0; r < tbl.NumRows() && !matched; r++ {
 			ok := true
 			for _, p := range q.Preds {
-				if !p.Matches(tbl.Cols[p.Col].Codes[r]) {
+				if !p.Matches(tbl.Cols[p.Col].Codes.At(r)) {
 					ok = false
 					break
 				}
