@@ -37,15 +37,15 @@ cross:
 	GOARCH=amd64 $(GO) build ./... && GOARCH=amd64 $(GO) vet ./...
 	GOARCH=arm64 $(GO) build ./... && GOARCH=arm64 $(GO) vet ./...
 
-# Fresh perf snapshot gated against the committed baseline (BENCH_PR9.json);
+# Fresh perf snapshot gated against the committed baseline (BENCH_PR10.json);
 # `make perf-baseline` refreshes the baseline itself after an intentional
 # change — at the multi-million-row scale size, so the committed snapshot
 # carries the beyond-RAM columnar-store numbers.
 perf:
-	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR9.json -max-regress 0.30 -scale tiny
+	$(GO) run ./cmd/duetbench -json BENCH_NEW.json -baseline BENCH_PR10.json -max-regress 0.30 -scale tiny
 
 perf-baseline:
-	DUET_SCALE_ROWS=2000000 $(GO) run ./cmd/duetbench -json BENCH_PR9.json -scale tiny
+	DUET_SCALE_ROWS=2000000 $(GO) run ./cmd/duetbench -json BENCH_PR10.json -scale tiny
 
 # Pack a 2M-row demo table into the .duetcol columnar format.
 pack:

@@ -102,9 +102,15 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at GET /v1/metrics")
 	traceRing := flag.Int("trace-ring", 256, "recent request traces retained for GET /v1/debug/traces (negative disables tracing)")
 	slowQueryMS := flag.Int("slow-query-ms", 250, "log traced requests slower than this many milliseconds (0 disables)")
+	slo := flag.String("slo", "", `per-stage SLO budgets: "" derives defaults from a roofline calibration of the packed plan, "off" disables all checks, or "stage=duration,..." overrides (e.g. "plan_exec=2ms,forward=50ms"; 0 disables a stage)`)
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	flag.Parse()
+
+	sloOverrides, sloOff, err := parseSLOFlag(*slo)
+	if err != nil {
+		fatal(err)
+	}
 
 	logger := duet.NewObsLogger(os.Stderr, parseLevel(*logLevel))
 	slog.SetDefault(logger)
@@ -120,7 +126,7 @@ func main() {
 	duet.RegisterKernelMetrics(suite.Metrics)
 
 	if *proxyMode {
-		if err := runProxy(*addr, *members, *manifestPath, *replication, suite); err != nil {
+		if err := runProxy(*addr, *members, *manifestPath, *replication, suite, sloOverrides, sloOff); err != nil {
 			fatal(err)
 		}
 		return
@@ -148,9 +154,10 @@ func main() {
 		}
 	}()
 
+	var man *Manifest
 	switch {
 	case *manifestPath != "":
-		man, err := loadManifest(*manifestPath)
+		man, err = loadManifest(*manifestPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -162,8 +169,9 @@ func main() {
 			return
 		}
 		if man.Lifecycle != nil {
-			if lc, err = startLifecycle(reg, man, filepath.Dir(*manifestPath), *modelDir, suite); err != nil {
-				fatal(err)
+			var lcErr error
+			if lc, lcErr = startLifecycle(reg, man, filepath.Dir(*manifestPath), *modelDir, suite); lcErr != nil {
+				fatal(lcErr)
 			}
 			slog.Info("lifecycle enabled: POST /ingest, POST /feedback, GET /lifecycle", "dir", *modelDir)
 		}
@@ -177,6 +185,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("pass -manifest FILE, -csv FILE, or -syn dmv|kdd|census"))
 	}
+
+	// Budgets arm after the registry holds its plans: the roofline default
+	// for plan_exec derives from the largest resident packed plan.
+	applySLOBudgets(suite, reg, *flush, man, sloOverrides, sloOff)
 
 	srv := duet.NewAPIServer(reg, lc, *modelDir, suite)
 	httpSrv := &http.Server{

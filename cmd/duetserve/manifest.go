@@ -33,6 +33,12 @@ type Manifest struct {
 	// member list, replication factor, and health-check cadence, so one
 	// manifest file can configure the whole fleet.
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Budgets maps stage names (admission_wait, cache_lookup, batch_wait,
+	// plan_exec, route, forward) to per-stage SLO budgets as Go duration
+	// strings ("2ms", "500us"). Stages listed here override the roofline-
+	// derived defaults; "0s" disables a stage's check. The -slo flag
+	// overrides this block.
+	Budgets map[string]string `json:"budgets,omitempty"`
 }
 
 // ClusterSpec is the manifest's fleet block, read by -proxy.
@@ -300,6 +306,18 @@ func loadManifest(path string) (*Manifest, error) {
 		}
 		if cs.Replication < 0 || cs.VNodes < 0 {
 			return nil, fmt.Errorf("manifest %s: cluster replication and vnodes must be >= 0", path)
+		}
+	}
+	for stage, val := range m.Budgets {
+		if !sloStages[stage] {
+			return nil, fmt.Errorf("manifest %s: budgets: unknown stage %q (stages: %s)", path, stage, sloStageList())
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("manifest %s: budgets.%s: %w", path, stage, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("manifest %s: budgets.%s must be >= 0 (0 disables the stage), got %s", path, stage, val)
 		}
 	}
 	if ls := m.Lifecycle; ls != nil {

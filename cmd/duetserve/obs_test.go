@@ -281,6 +281,280 @@ func TestFleetMetricsAgree(t *testing.T) {
 	}
 }
 
+// stitchedTrace mirrors the proxy aggregation endpoint's response shape.
+type stitchedTrace struct {
+	TraceID    string   `json:"trace_id"`
+	DurationUS int64    `json:"duration_us"`
+	Slow       bool     `json:"slow"`
+	Partial    bool     `json:"partial"`
+	Sources    []string `json:"sources"`
+	Spans      []struct {
+		Source     string `json:"source"`
+		Name       string `json:"name"`
+		OffsetUS   int64  `json:"offset_us"`
+		DurationUS int64  `json:"duration_us"`
+	} `json:"spans"`
+}
+
+// TestFleetTraceAggregation drives one traced estimate through the proxy and
+// reads the stitched fleet-wide view back from the proxy's aggregation
+// endpoint: one trace id, proxy-side and replica-side spans merged onto a
+// single ordered timeline, no partial flag.
+func TestFleetTraceAggregation(t *testing.T) {
+	f := startObsFleet(t, 3)
+
+	rec := f.do(t, "POST", "/v1/estimate", `{"model":"alpha","query":"a<=5"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(duet.TraceHeader)
+	replica := rec.Header().Get(duet.ClusterReplicaHeader)
+
+	arec := f.do(t, "GET", "/v1/debug/traces/"+traceID, "")
+	if arec.Code != http.StatusOK {
+		t.Fatalf("aggregation endpoint: %d %s", arec.Code, arec.Body.String())
+	}
+	var st stitchedTrace
+	if err := json.Unmarshal(arec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode stitched trace: %v\n%s", err, arec.Body.String())
+	}
+	if st.TraceID != traceID {
+		t.Fatalf("stitched trace id = %q, want %q", st.TraceID, traceID)
+	}
+	if st.Partial {
+		t.Fatal("all members healthy; stitched view must not be partial")
+	}
+	sources := map[string]bool{}
+	for _, s := range st.Sources {
+		sources[s] = true
+	}
+	if !sources["proxy"] || !sources[replica] {
+		t.Fatalf("stitched sources = %v; want proxy and %s", st.Sources, replica)
+	}
+	// The span tree is complete: proxy hop + forward from the proxy's ring,
+	// replica hop + >= 3 engine stages from the replica's, ordered by offset.
+	bySource := map[string]map[string]int{}
+	for _, sp := range st.Spans {
+		if bySource[sp.Source] == nil {
+			bySource[sp.Source] = map[string]int{}
+		}
+		bySource[sp.Source][sp.Name]++
+	}
+	if bySource["proxy"]["proxy"] == 0 || bySource["proxy"]["forward"] == 0 {
+		t.Fatalf("proxy-side spans = %v; want proxy and forward", bySource["proxy"])
+	}
+	if bySource[replica]["replica"] == 0 {
+		t.Fatalf("replica-side spans = %v; want a replica span", bySource[replica])
+	}
+	stages := 0
+	for _, stage := range []string{"route", "cache_lookup", "admission_wait", "batch_wait", "plan_exec"} {
+		stages += bySource[replica][stage]
+	}
+	if stages < 3 {
+		t.Fatalf("stitched view has %d engine-stage spans (%v); want >= 3", stages, bySource[replica])
+	}
+	for i := 1; i < len(st.Spans); i++ {
+		if st.Spans[i].OffsetUS < st.Spans[i-1].OffsetUS {
+			t.Fatalf("stitched spans out of order at %d: %+v", i, st.Spans)
+		}
+	}
+
+	// A trace no ring holds is an authoritative fleet-wide 404, not partial.
+	nrec := f.do(t, "GET", "/v1/debug/traces/no-such-trace", "")
+	if nrec.Code != http.StatusNotFound {
+		t.Fatalf("missing trace: %d, want 404", nrec.Code)
+	}
+	if strings.Contains(nrec.Body.String(), `"partial":true`) {
+		t.Fatalf("clean misses are authoritative, not partial: %s", nrec.Body.String())
+	}
+}
+
+// TestFleetTraceAggregationPartial takes one member down and asserts the
+// aggregation endpoint degrades instead of failing: the live replica's spans
+// still come back, flagged "partial": true.
+func TestFleetTraceAggregationPartial(t *testing.T) {
+	tbl := relation.Generate(relation.SynConfig{
+		Name: "alpha", Rows: 300, Seed: 1,
+		Cols: []relation.ColSpec{
+			{Name: "k", NDV: 30, Skew: 1.2, Parent: -1},
+			{Name: "a", NDV: 12, Skew: 1.5, Parent: 0, Noise: 0.2},
+		},
+	})
+	cfg := duet.DefaultConfig()
+	cfg.Hidden = []int{16, 16}
+	cfg.EmbedDim = 8
+	cfg.Seed = 7
+	dir := t.TempDir()
+	suite := duet.NewObsSuite(duet.ObsConfig{TraceRing: 16})
+	reg := duet.NewRegistry(duet.RegistryConfig{Dir: dir, Obs: suite.Metrics})
+	t.Cleanup(func() { reg.Close() })
+	if err := reg.Add("alpha", tbl, duet.New(tbl, cfg), duet.AddOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	live := httptest.NewServer(duet.NewAPIServer(reg, nil, dir, suite).Handler())
+	t.Cleanup(live.Close)
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // on the member list, but nothing listens
+
+	psuite := duet.NewObsSuite(duet.ObsConfig{TraceRing: 16})
+	proxy, err := duet.NewClusterProxy(duet.ClusterConfig{
+		Members: []string{live.URL, deadURL},
+		Health:  duet.ClusterHealthConfig{Interval: time.Hour}, // no flips mid-test
+		Obs:     psuite.Metrics,
+		Tracer:  psuite.Tracer,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+
+	// Seed the trace on the live replica directly (routing through the proxy
+	// could land on the dead member), then read the stitched view back.
+	const traceID = "agg-partial-1"
+	req, err := http.NewRequest("POST", live.URL+"/v1/estimate",
+		strings.NewReader(`{"model":"alpha","query":"a<=5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(duet.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica estimate: %d", resp.StatusCode)
+	}
+
+	rec := httptest.NewRecorder()
+	proxy.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/traces/"+traceID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("aggregation with a dead member must still answer: %d %s", rec.Code, rec.Body.String())
+	}
+	var st stitchedTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Partial {
+		t.Fatal("a dead member means the merge is partial")
+	}
+	names := map[string]int{}
+	for _, sp := range st.Spans {
+		if sp.Source == live.URL {
+			names[sp.Name]++
+		}
+	}
+	if names["replica"] == 0 || names["plan_exec"] == 0 {
+		t.Fatalf("partial merge lost the live replica's spans: %+v", st.Spans)
+	}
+}
+
+// TestFleetExemplars checks the metrics expositions carry OpenMetrics
+// exemplars referencing the trace that produced them: the proxy's HTTP
+// histogram and the answering replica's engine-stage histogram both link a
+// bucket back to the request's trace id.
+func TestFleetExemplars(t *testing.T) {
+	f := startObsFleet(t, 3)
+
+	rec := f.do(t, "POST", "/v1/estimate", `{"model":"alpha","query":"a<=5"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(duet.TraceHeader)
+	replica := rec.Header().Get(duet.ClusterReplicaHeader)
+	marker := `# {trace_id="` + traceID + `"}`
+
+	mrec := f.do(t, "GET", "/v1/metrics", "")
+	if !strings.Contains(mrec.Body.String(), marker) {
+		t.Fatalf("proxy exposition has no exemplar for %s:\n%s", traceID, mrec.Body.String())
+	}
+
+	resp, err := http.Get(replica + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, resp)
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "duet_serve_stage_seconds_bucket") && strings.Contains(line, marker) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("replica stage histogram has no exemplar for %s:\n%s", traceID, text)
+	}
+}
+
+// TestFleetSLOViolation arms a 1ns plan_exec budget on every replica (other
+// stages effectively unbounded) and asserts exactly that stage's violation
+// counter trips, the trace is marked slow, and the proxy's fleet-wide
+// ?slow=1 listing surfaces the stitched trace.
+func TestFleetSLOViolation(t *testing.T) {
+	f := startObsFleet(t, 3)
+	budgets := map[string]time.Duration{
+		"plan_exec":      time.Nanosecond,
+		"route":          time.Hour,
+		"cache_lookup":   time.Hour,
+		"admission_wait": time.Hour,
+		"batch_wait":     time.Hour,
+		"forward":        time.Hour,
+	}
+	for _, suite := range f.suites {
+		suite.Tracer.SetBudgets(budgets)
+	}
+
+	rec := f.do(t, "POST", "/v1/estimate", `{"model":"alpha","query":"a<=5"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(duet.TraceHeader)
+	replica := rec.Header().Get(duet.ClusterReplicaHeader)
+
+	// The answering replica's exposition: plan_exec violated, nothing else.
+	resp, err := http.Get(replica + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readAll(t, resp)
+	if got := metricSum(t, text, "duet_slo_violations_total"); got < 1 {
+		t.Fatalf("duet_slo_violations_total = %v, want >= 1", got)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "duet_slo_violations_total{") && !strings.Contains(line, `stage="plan_exec"`) {
+			t.Fatalf("only plan_exec was injected slow, but found: %s", line)
+		}
+	}
+
+	// The stitched fleet-wide slow listing surfaces the trace, marked slow by
+	// stage even though its total duration is nowhere near a slow threshold.
+	srec := f.do(t, "GET", "/v1/debug/traces?slow=1", "")
+	var listing struct {
+		Traces  []stitchedTrace `json:"traces"`
+		Partial bool            `json:"partial"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("decode slow listing: %v\n%s", err, srec.Body.String())
+	}
+	if listing.Partial {
+		t.Fatal("all members healthy; slow listing must not be partial")
+	}
+	var hit *stitchedTrace
+	for i := range listing.Traces {
+		if listing.Traces[i].TraceID == traceID {
+			hit = &listing.Traces[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("fleet slow listing is missing trace %s: %s", traceID, srec.Body.String())
+	}
+	if !hit.Slow {
+		t.Fatal("budget-violated trace must be marked slow in the stitched listing")
+	}
+}
+
 // TestProxyErrorAttribution sheds a request against a fleet whose only
 // member is gone and checks the 503 is attributable: the replica header
 // names the member tried and the envelope carries the trace id.

@@ -20,7 +20,7 @@ import (
 // the manifest's "cluster" block; -replication overrides the factor either
 // way. The proxy owns no models and keeps no state beyond counters, so any
 // number of proxies can front the same fleet without coordination.
-func runProxy(addr, membersFlag, manifestPath string, replication int, suite *duet.ObsSuite) error {
+func runProxy(addr, membersFlag, manifestPath string, replication int, suite *duet.ObsSuite, sloOverrides map[string]time.Duration, sloOff bool) error {
 	// Health flips (member marked down / back in rotation) are logged by the
 	// proxy itself through suite's logger, alongside the mark-down counters.
 	cfg := duet.ClusterConfig{
@@ -30,6 +30,7 @@ func runProxy(addr, membersFlag, manifestPath string, replication int, suite *du
 		Log:         suite.Logger(),
 		Pprof:       suite.Pprof,
 	}
+	var man *Manifest
 	switch {
 	case membersFlag != "":
 		for _, m := range strings.Split(membersFlag, ",") {
@@ -38,7 +39,8 @@ func runProxy(addr, membersFlag, manifestPath string, replication int, suite *du
 			}
 		}
 	case manifestPath != "":
-		man, err := loadManifest(manifestPath)
+		var err error
+		man, err = loadManifest(manifestPath)
 		if err != nil {
 			return err
 		}
@@ -54,6 +56,9 @@ func runProxy(addr, membersFlag, manifestPath string, replication int, suite *du
 	default:
 		return fmt.Errorf("-proxy needs -members URL,URL,... or -manifest with a \"cluster\" block")
 	}
+	// A proxy has no plan to roofline; only explicit budgets (manifest block
+	// or -slo, typically forward/route) arm here.
+	applyProxySLOBudgets(suite, man, sloOverrides, sloOff)
 
 	proxy, err := duet.NewClusterProxy(cfg)
 	if err != nil {

@@ -33,7 +33,7 @@ func SetModelLabel(ctx context.Context, name string) {
 func untraced(path string) bool {
 	return path == "/v1/metrics" || path == "/v1/debug/traces" ||
 		path == "/v1/healthz" || path == "/healthz" ||
-		strings.HasPrefix(path, "/debug/")
+		strings.HasPrefix(path, "/v1/debug/") || strings.HasPrefix(path, "/debug/")
 }
 
 // WithTracing opens (or joins, via the X-Duet-Trace request header) a trace
@@ -108,6 +108,8 @@ func WithHTTPMetrics(reg *obs.Registry, next http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		requests.With(route, strconv.Itoa(sw.status)).Inc()
-		seconds.With(route, holder.name).ObserveSince(t0)
+		// WithTracing wraps outside this middleware, so the request context
+		// carries the trace: its id becomes the bucket's exemplar.
+		seconds.With(route, holder.name).ObserveSinceEx(t0, obs.FromContext(r.Context()).ID())
 	})
 }

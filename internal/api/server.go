@@ -74,6 +74,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		if s.suite.Tracer != nil {
 			mux.Handle("GET /v1/debug/traces", s.suite.Tracer.Handler())
+			mux.Handle("GET /v1/debug/traces/{id}", s.suite.Tracer.HandlerByID())
 		}
 		if s.suite.Pprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

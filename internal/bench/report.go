@@ -62,11 +62,16 @@ type PerfReport struct {
 	ClusterReplicas int     `json:"cluster_replicas"`
 
 	// Observability (the Obs experiment): sequential engine throughput with
-	// the metrics instruments wired against the bare engine, and the relative
-	// cost. The overhead percentage is gated absolutely at 5%.
-	ObsBaseQPS     float64 `json:"obs_base_qps"`
-	ObsQPS         float64 `json:"obs_qps"`
-	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	// the metrics instruments wired (exemplar-capable histograms plus an
+	// armed tracer with SLO budgets) against the bare engine, and the
+	// relative cost. The untraced overhead percentage is gated absolutely at
+	// 5%; the traced figures (every request carrying a trace: spans,
+	// exemplars, budget checks) are informational.
+	ObsBaseQPS           float64 `json:"obs_base_qps"`
+	ObsQPS               float64 `json:"obs_qps"`
+	ObsOverheadPct       float64 `json:"obs_overhead_pct"`
+	ObsTracedQPS         float64 `json:"obs_traced_qps,omitempty"`
+	ObsTracedOverheadPct float64 `json:"obs_traced_overhead_pct,omitempty"`
 
 	// SIMD kernels + quantization (the Kernels experiment): the active
 	// dispatch tier's microkernel throughput, and the int8 packed plan's
@@ -218,6 +223,8 @@ func Perf(w io.Writer, s Scale) (*PerfReport, error) {
 	rep.ObsBaseQPS = ob.BaseQPS
 	rep.ObsQPS = ob.ObsQPS
 	rep.ObsOverheadPct = ob.OverheadPct
+	rep.ObsTracedQPS = ob.TracedQPS
+	rep.ObsTracedOverheadPct = ob.TracedOverheadPct
 
 	kn, err := Kernels(w, s)
 	if err != nil {

@@ -149,7 +149,8 @@ func (p *Proxy) Handler() http.Handler {
 		mux.Handle("GET /v1/metrics", p.cfg.Obs.Handler())
 	}
 	if p.cfg.Tracer != nil {
-		mux.Handle("GET /v1/debug/traces", p.cfg.Tracer.Handler())
+		mux.HandleFunc("GET /v1/debug/traces", p.traces)
+		mux.HandleFunc("GET /v1/debug/traces/{id}", p.traceByID)
 	}
 	if p.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestExemplarExpositionGolden locks down the OpenMetrics exemplar syntax
+// byte for byte: `_bucket{...} N # {trace_id="..."} value`. Observation
+// values are binary-exact so the sums render deterministically.
+func TestExemplarExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	stages := reg.HistogramVec("duet_engine_stage_seconds",
+		"Per-stage engine latency.", []float64{0.25, 0.5, 1}, "stage")
+
+	pe := stages.With("plan_exec")
+	pe.ObserveEx(0.125, "trace-a")                            // first bucket, exemplar retained
+	pe.Observe(0.375)                                         // untraced: bucket counted, no exemplar
+	pe.ObserveEx(0.75, "trace-b")                             // third bucket
+	pe.ObserveEx(2, "trace-c")                                // +Inf bucket
+	stages.With("route").ObserveEx(0.0625, `quote"and\slash`) // label escaping
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "exemplars.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExemplarLastObservationWins verifies a bucket retains the most recent
+// traced observation, and that untraced observations never clobber it.
+func TestExemplarLastObservationWins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("duet_x_seconds", "x", []float64{1})
+	h.ObserveEx(0.5, "first")
+	h.ObserveEx(0.25, "second")
+	h.Observe(0.75) // untraced: must not erase "second"
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `duet_x_seconds_bucket{le="1"} 3 # {trace_id="second"} 0.25`) {
+		t.Fatalf("bucket should carry the latest traced exemplar:\n%s", out)
+	}
+	if strings.Contains(out, "first") {
+		t.Fatalf("older exemplar should be replaced:\n%s", out)
+	}
+}

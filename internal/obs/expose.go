@@ -88,11 +88,13 @@ func (f *family) writeText(w *bufio.Writer) {
 			var cum uint64
 			for bi, upper := range inst.uppers {
 				cum += inst.counts[bi].Load()
-				writeSample(w, f.name+"_bucket",
-					labelPairs(f.labels, values, "le", formatFloat(upper)), float64(cum))
+				writeBucket(w, f.name,
+					labelPairs(f.labels, values, "le", formatFloat(upper)), float64(cum),
+					inst.exemplars[bi].Load())
 			}
 			cum += inst.counts[len(inst.uppers)].Load()
-			writeSample(w, f.name+"_bucket", labelPairs(f.labels, values, "le", "+Inf"), float64(cum))
+			writeBucket(w, f.name, labelPairs(f.labels, values, "le", "+Inf"), float64(cum),
+				inst.exemplars[len(inst.uppers)].Load())
 			writeSample(w, f.name+"_sum", labelPairs(f.labels, values, "", ""), inst.Sum())
 			writeSample(w, f.name+"_count", labelPairs(f.labels, values, "", ""), float64(cum))
 		}
@@ -104,6 +106,24 @@ func writeSample(w *bufio.Writer, name, labels string, v float64) {
 	w.WriteString(labels)
 	w.WriteByte(' ')
 	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// writeBucket emits one _bucket sample, appending the OpenMetrics exemplar
+// suffix (`# {trace_id="..."} value`) when the bucket has retained a traced
+// observation.
+func writeBucket(w *bufio.Writer, name, labels string, v float64, ex *exemplar) {
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	if ex != nil {
+		w.WriteString(` # {trace_id="`)
+		w.WriteString(escapeLabel(ex.traceID))
+		w.WriteString(`"} `)
+		w.WriteString(formatFloat(ex.value))
+	}
 	w.WriteByte('\n')
 }
 

@@ -117,22 +117,41 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// exemplar links one observation to the trace that produced it, so a latency
+// bucket on a scrape points at a concrete entry in the trace store.
+type exemplar struct {
+	traceID string
+	value   float64
+}
+
 // Histogram counts observations into fixed buckets. Observations and the
 // running sum use atomics only, so concurrent Observe calls never block each
 // other (exposition cumulates the buckets at scrape time, as the Prometheus
-// text format requires).
+// text format requires). Each bucket additionally retains the last traced
+// observation that landed in it as an OpenMetrics exemplar.
 type Histogram struct {
-	uppers []float64       // ascending bucket upper bounds
-	counts []atomic.Uint64 // len(uppers)+1; the last bucket is +Inf
-	sum    atomic.Uint64   // math.Float64bits of the observation sum
+	uppers    []float64                  // ascending bucket upper bounds
+	counts    []atomic.Uint64            // len(uppers)+1; the last bucket is +Inf
+	exemplars []atomic.Pointer[exemplar] // len(uppers)+1; last traced observation per bucket
+	sum       atomic.Uint64              // math.Float64bits of the observation sum
 }
 
 func newHistogram(uppers []float64) *Histogram {
-	return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+	return &Histogram{
+		uppers:    uppers,
+		counts:    make([]atomic.Uint64, len(uppers)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(uppers)+1),
+	}
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx records one observation and, when traceID is non-empty, retains
+// it as the bucket's exemplar: the scrape's `# {trace_id="..."} value` suffix
+// links the bucket straight into the trace ring. An empty traceID is a plain
+// Observe.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -143,6 +162,9 @@ func (h *Histogram) Observe(v float64) {
 		i++
 	}
 	h.counts[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
@@ -153,6 +175,11 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the seconds elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// ObserveSinceEx records the seconds elapsed since t0 with an exemplar.
+func (h *Histogram) ObserveSinceEx(t0 time.Time, traceID string) {
+	h.ObserveEx(time.Since(t0).Seconds(), traceID)
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {

@@ -14,6 +14,9 @@ type SuiteConfig struct {
 	TraceRing int
 	// SlowQuery, when positive, logs traces at least this long.
 	SlowQuery time.Duration
+	// Budgets sets the tracer's per-stage SLO budgets (see
+	// TracerConfig.Budgets); replaceable later via Tracer.SetBudgets.
+	Budgets map[string]time.Duration
 	// Log is the structured logger shared by the stack; slog.Default()
 	// when nil.
 	Log *slog.Logger
@@ -36,7 +39,13 @@ type Suite struct {
 func NewSuite(cfg SuiteConfig) *Suite {
 	s := &Suite{Metrics: NewRegistry(), Log: cfg.Log, Pprof: cfg.Pprof}
 	if cfg.TraceRing >= 0 {
-		s.Tracer = NewTracer(TracerConfig{RingSize: cfg.TraceRing, SlowThreshold: cfg.SlowQuery, Log: cfg.Log})
+		s.Tracer = NewTracer(TracerConfig{
+			RingSize:      cfg.TraceRing,
+			SlowThreshold: cfg.SlowQuery,
+			Budgets:       cfg.Budgets,
+			Metrics:       s.Metrics,
+			Log:           cfg.Log,
+		})
 	}
 	registerRuntimeMetrics(s.Metrics)
 	return s

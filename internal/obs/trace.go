@@ -62,6 +62,7 @@ type Trace struct {
 	mu    sync.Mutex
 	spans []SpanSnapshot
 	attrs []string
+	slow  bool // set when any span blows its SLO budget
 }
 
 // ID returns the trace id ("" on nil).
@@ -114,6 +115,7 @@ func (t *Trace) addSpan(name string, start time.Time, d time.Duration, attrs []s
 	t.mu.Lock()
 	t.spans = append(t.spans, snap)
 	t.mu.Unlock()
+	t.tr.checkBudget(t, name, d)
 }
 
 // SpanSnapshot is the immutable record of one finished span.
@@ -125,11 +127,14 @@ type SpanSnapshot struct {
 }
 
 // TraceSnapshot is the immutable record of one finished trace, as served by
-// /v1/debug/traces.
+// /v1/debug/traces. Slow is set when the trace crossed the tracer's slow
+// threshold OR any span blew its per-stage SLO budget — a trace can be slow
+// by stage even when its total duration looks healthy.
 type TraceSnapshot struct {
 	TraceID    string            `json:"trace_id"`
 	Start      time.Time         `json:"start"`
 	DurationUS int64             `json:"duration_us"`
+	Slow       bool              `json:"slow,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Spans      []SpanSnapshot    `json:"spans"`
 }
@@ -141,7 +146,19 @@ type TracerConfig struct {
 	// SlowThreshold, when positive, logs any trace at least this long
 	// through Log at Warn level with a compact span summary.
 	SlowThreshold time.Duration
-	// Log receives slow-trace reports; slog.Default() when nil.
+	// Budgets maps span names (admission_wait, cache_lookup, batch_wait,
+	// plan_exec, route, forward, ...) to per-stage SLO budgets. A span whose
+	// duration exceeds its budget increments duet_slo_violations_total{stage},
+	// marks the trace slow regardless of total duration, and logs one
+	// structured line. Zero or absent budget = check disabled for that stage.
+	// Replaceable at runtime via SetBudgets.
+	Budgets map[string]time.Duration
+	// Metrics, when set, exports the tracer's own instruments:
+	// duet_slo_violations_total{stage} and duet_trace_dropped_total. A nil
+	// registry keeps them as detached (still counting) instruments.
+	Metrics *Registry
+	// Log receives slow-trace and budget-violation reports; slog.Default()
+	// when nil.
 	Log *slog.Logger
 }
 
@@ -150,10 +167,17 @@ type TracerConfig struct {
 type Tracer struct {
 	cfg TracerConfig
 
-	mu   sync.Mutex
-	ring []TraceSnapshot // fixed capacity, write cursor wraps
-	next int
-	n    int
+	budgets    atomic.Pointer[map[string]time.Duration]
+	violations *CounterVec
+	dropped    *Counter
+
+	mu      sync.Mutex
+	ring    []TraceSnapshot // fixed capacity, write cursor wraps
+	seq     []uint64        // write sequence per slot, to detect unread evictions
+	next    int
+	n       int
+	wseq    uint64 // total snapshots written
+	readSeq uint64 // wseq high-water mark at the last ring read
 }
 
 // NewTracer creates a tracer with a bounded trace ring.
@@ -161,7 +185,86 @@ func NewTracer(cfg TracerConfig) *Tracer {
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 256
 	}
-	return &Tracer{cfg: cfg, ring: make([]TraceSnapshot, cfg.RingSize)}
+	tr := &Tracer{
+		cfg:  cfg,
+		ring: make([]TraceSnapshot, cfg.RingSize),
+		seq:  make([]uint64, cfg.RingSize),
+		violations: cfg.Metrics.CounterVec("duet_slo_violations_total",
+			"Per-stage SLO budget violations: spans whose duration exceeded the configured budget.", "stage"),
+		dropped: cfg.Metrics.Counter("duet_trace_dropped_total",
+			"Traces evicted from the bounded ring before any reader saw them."),
+	}
+	tr.SetBudgets(cfg.Budgets)
+	return tr
+}
+
+// SetBudgets replaces the per-stage SLO budget table (copying the map), so
+// roofline-derived defaults can be installed after model plans are known.
+// Safe on a nil tracer and with a nil map (disables all checks).
+func (tr *Tracer) SetBudgets(b map[string]time.Duration) {
+	if tr == nil {
+		return
+	}
+	cp := make(map[string]time.Duration, len(b))
+	for k, v := range b {
+		if v > 0 {
+			cp[k] = v
+		}
+	}
+	tr.budgets.Store(&cp)
+}
+
+// Budgets returns a copy of the active per-stage budget table.
+func (tr *Tracer) Budgets() map[string]time.Duration {
+	if tr == nil {
+		return nil
+	}
+	b := tr.budgets.Load()
+	if b == nil {
+		return nil
+	}
+	cp := make(map[string]time.Duration, len(*b))
+	for k, v := range *b {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Dropped returns how many traces were evicted from the ring unread.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped.Value()
+}
+
+// checkBudget enforces the per-stage SLO budget at span close. One violation
+// is enough to mark the whole trace slow; every violation counts and logs.
+func (tr *Tracer) checkBudget(t *Trace, stage string, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	b := tr.budgets.Load()
+	if b == nil {
+		return
+	}
+	budget := (*b)[stage]
+	if budget <= 0 || d <= budget {
+		return
+	}
+	tr.violations.With(stage).Inc()
+	t.mu.Lock()
+	t.slow = true
+	t.mu.Unlock()
+	logger := tr.cfg.Log
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.Warn("slo budget exceeded",
+		slog.String("trace_id", t.id),
+		slog.String("stage", stage),
+		slog.Int64("budget_us", budget.Microseconds()),
+		slog.Int64("observed_us", d.Microseconds()))
 }
 
 type traceCtxKey struct{}
@@ -201,6 +304,7 @@ func (tr *Tracer) Finish(t *Trace) {
 		TraceID:    t.id,
 		Start:      t.start,
 		DurationUS: d.Microseconds(),
+		Slow:       t.slow || (tr.cfg.SlowThreshold > 0 && d >= tr.cfg.SlowThreshold),
 		Spans:      append([]SpanSnapshot(nil), t.spans...),
 	}
 	if len(t.attrs) > 1 {
@@ -213,12 +317,21 @@ func (tr *Tracer) Finish(t *Trace) {
 	sort.SliceStable(snap.Spans, func(i, j int) bool { return snap.Spans[i].OffsetUS < snap.Spans[j].OffsetUS })
 
 	tr.mu.Lock()
+	// An occupied slot whose write sequence is newer than the last ring read
+	// holds a trace no reader ever saw — overwriting it is a silent data loss
+	// the duet_trace_dropped_total counter makes visible.
+	evictedUnread := tr.n == len(tr.ring) && tr.seq[tr.next] > tr.readSeq
+	tr.wseq++
 	tr.ring[tr.next] = snap
+	tr.seq[tr.next] = tr.wseq
 	tr.next = (tr.next + 1) % len(tr.ring)
 	if tr.n < len(tr.ring) {
 		tr.n++
 	}
 	tr.mu.Unlock()
+	if evictedUnread {
+		tr.dropped.Inc()
+	}
 
 	if tr.cfg.SlowThreshold > 0 && d >= tr.cfg.SlowThreshold {
 		logger := tr.cfg.Log
@@ -244,13 +357,15 @@ func (tr *Tracer) Finish(t *Trace) {
 	}
 }
 
-// Recent returns the ring's traces, newest first.
+// Recent returns the ring's traces, newest first, and marks the ring read
+// (for drop accounting).
 func (tr *Tracer) Recent() []TraceSnapshot {
 	if tr == nil {
 		return nil
 	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	tr.readSeq = tr.wseq
 	out := make([]TraceSnapshot, 0, tr.n)
 	for i := 0; i < tr.n; i++ {
 		idx := (tr.next - 1 - i + len(tr.ring)) % len(tr.ring)
@@ -259,12 +374,64 @@ func (tr *Tracer) Recent() []TraceSnapshot {
 	return out
 }
 
-// Handler serves the recent-trace ring as JSON at /v1/debug/traces.
+// Get returns the newest ring entry with the given trace id.
+func (tr *Tracer) Get(id string) (TraceSnapshot, bool) {
+	if tr == nil || id == "" {
+		return TraceSnapshot{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.readSeq = tr.wseq
+	for i := 0; i < tr.n; i++ {
+		idx := (tr.next - 1 - i + len(tr.ring)) % len(tr.ring)
+		if tr.ring[idx].TraceID == id {
+			return tr.ring[idx], true
+		}
+	}
+	return TraceSnapshot{}, false
+}
+
+// Slow returns the ring's slow-marked traces (threshold or budget violation),
+// worst first by total duration.
+func (tr *Tracer) Slow() []TraceSnapshot {
+	out := tr.Recent()
+	kept := out[:0]
+	for _, s := range out {
+		if s.Slow {
+			kept = append(kept, s)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].DurationUS > kept[j].DurationUS })
+	return kept
+}
+
+// Handler serves the recent-trace ring as JSON at /v1/debug/traces;
+// ?slow=1 restricts the listing to slow-marked traces, worst first.
 func (tr *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		traces := tr.Recent()
+		if req.URL.Query().Get("slow") == "1" {
+			traces = tr.Slow()
+		}
 		json.NewEncoder(w).Encode(struct {
 			Traces []TraceSnapshot `json:"traces"`
-		}{Traces: tr.Recent()})
+		}{Traces: traces})
+	})
+}
+
+// HandlerByID serves one ring entry as JSON at /v1/debug/traces/{id},
+// reading the id from the request's path value. 404 when the ring has no
+// trace under that id (it may have been evicted, or never finished here).
+func (tr *Tracer) HandlerByID() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap, ok := tr.Get(req.PathValue("id"))
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "trace not found"})
+			return
+		}
+		json.NewEncoder(w).Encode(snap)
 	})
 }

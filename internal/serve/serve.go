@@ -197,7 +197,7 @@ func (e *Estimator) Estimate(ctx context.Context, q workload.Query) (float64, er
 	if timeCache {
 		d := time.Since(t0)
 		if e.met.timed {
-			e.met.cacheLookup.Observe(d.Seconds())
+			e.met.cacheLookup.ObserveEx(d.Seconds(), tr.ID())
 		}
 		tr.AddSpan("cache_lookup", t0, d, "hit", strconv.FormatBool(hit))
 	}
@@ -215,7 +215,7 @@ func (e *Estimator) Estimate(ctx context.Context, q workload.Query) (float64, er
 	if timeAdmit {
 		d := time.Since(t0)
 		if e.met.timed {
-			e.met.admissionWait.Observe(d.Seconds())
+			e.met.admissionWait.ObserveEx(d.Seconds(), tr.ID())
 		}
 		tr.AddSpan("admission_wait", t0, d)
 	}
@@ -317,7 +317,7 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 	if timed {
 		d := time.Since(t0)
 		if e.met.timed {
-			e.met.cacheLookup.Observe(d.Seconds())
+			e.met.cacheLookup.ObserveEx(d.Seconds(), tr.ID())
 		}
 		tr.AddSpan("cache_lookup", t0, d,
 			"hits", strconv.Itoa(hits), "misses", strconv.Itoa(len(misses)))
@@ -332,7 +332,7 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 		if timed {
 			d := time.Since(t0)
 			if e.met.timed {
-				e.met.admissionWait.Observe(d.Seconds())
+				e.met.admissionWait.ObserveEx(d.Seconds(), tr.ID())
 			}
 			tr.AddSpan("admission_wait", t0, d)
 		}
@@ -360,7 +360,7 @@ func (e *Estimator) EstimateBatch(ctx context.Context, qs []workload.Query) ([]f
 		if timed {
 			d := time.Since(t0)
 			if e.met.timed {
-				e.met.planExec.Observe(d.Seconds())
+				e.met.planExec.ObserveEx(d.Seconds(), tr.ID())
 			}
 			tr.AddSpan("plan_exec", t0, d, "batch_size", strconv.Itoa(len(chunk)))
 		}
@@ -497,10 +497,20 @@ func (e *Estimator) flush(batch []request) {
 	if timed {
 		execDur = time.Since(execStart)
 	}
-	if sampled {
-		e.met.planExec.Observe(execDur.Seconds())
+	if sampled || (traced && e.met.timed) {
+		// A traced batch observes the histograms even off-sample: the clocks
+		// already ran for the rider's spans, and the rider's trace id becomes
+		// the bucket exemplar so a scrape links straight into the trace ring.
+		exID := ""
 		for _, r := range batch {
-			e.met.batchWait.Observe(execStart.Sub(r.enq).Seconds())
+			if r.tr != nil {
+				exID = r.tr.ID()
+				break
+			}
+		}
+		e.met.planExec.ObserveEx(execDur.Seconds(), exID)
+		for _, r := range batch {
+			e.met.batchWait.ObserveEx(execStart.Sub(r.enq).Seconds(), r.tr.ID())
 		}
 	}
 	size := strconv.Itoa(len(qs))

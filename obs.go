@@ -11,9 +11,11 @@ package duet
 import (
 	"io"
 	"log/slog"
+	"time"
 
 	"duet/internal/cluster"
 	"duet/internal/obs"
+	"duet/internal/serve"
 )
 
 type (
@@ -45,3 +47,15 @@ func NewObsSuite(cfg ObsConfig) *ObsSuite { return obs.NewSuite(cfg) }
 
 // NewObsLogger builds the stack's standard structured text logger.
 func NewObsLogger(w io.Writer, level slog.Level) *slog.Logger { return obs.NewLogger(w, level) }
+
+// DeriveSLOBudgets derives the default per-stage SLO budget table from a
+// roofline model of the packed plan: a short calibration run measures the
+// active kernel tier's sustained bandwidth, and the expected plan_exec
+// latency for a plan keeping planBytes of weights resident follows from
+// weight traffic divided by that bandwidth (the forward pass is memory-
+// bound). The other stages derive from plan_exec and flushWindow; see
+// internal/serve.DeriveBudgets for the exact table. Install the result with
+// ObsSuite.Tracer.SetBudgets, overlaying any operator-configured budgets.
+func DeriveSLOBudgets(planBytes int, flushWindow time.Duration) map[string]time.Duration {
+	return serve.DeriveBudgets(planBytes, flushWindow, serve.CalibrateBudgets())
+}
